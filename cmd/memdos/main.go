@@ -1,0 +1,503 @@
+// Command memdos regenerates the paper's tables and figures from the
+// simulation substrate. Each subcommand corresponds to one experiment; see
+// DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	memdos apps
+//	memdos trace    -app KM -attack buslock [-out trace.csv]
+//	memdos detect   -app KM -attack buslock [-detector SDS] [-adaptive]
+//	memdos fig1     [-dur 600] [-seeds 3]
+//	memdos fig7
+//	memdos fig8
+//	memdos compare  [-attack buslock] [-scenario 1] [-apps KM,TS] [-dnn] [-seeds 2]
+//	memdos overhead [-apps KM,BA]
+//	memdos sweep    -param alpha|k|w|dw|wp|dwp|dnnw|dnndw [-app KM] [-seeds 1]
+//	memdos train    [-apps KM,BA,TS] [-epochs 10]
+//	memdos ablation -which raw|period|microsim
+//	memdos migration [-app KM] [-delay 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"memdos"
+	"memdos/internal/core"
+	"memdos/internal/dnn"
+	"memdos/internal/experiments"
+	"memdos/internal/trace"
+	"memdos/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "apps":
+		err = cmdApps()
+	case "trace":
+		err = cmdTrace(args)
+	case "detect":
+		err = cmdDetect(args)
+	case "fig1":
+		err = cmdFig1(args)
+	case "fig7":
+		err = cmdFig7()
+	case "fig8":
+		err = cmdFig8()
+	case "compare":
+		err = cmdCompare(args)
+	case "overhead":
+		err = cmdOverhead(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "train":
+		err = cmdTrain(args)
+	case "ablation":
+		err = cmdAblation(args)
+	case "migration":
+		err = cmdMigration(args)
+	case "containers":
+		err = cmdContainers(args)
+	case "report":
+		err = cmdReport(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "memdos: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memdos %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `memdos — memory DoS attack & detection reproduction
+
+commands:
+  apps       list the application models (Table II)
+  trace      120s counter trace with attack at 60s (Figs. 2-6)
+  detect     run one scenario with one detector; print incidents
+  fig1       KStest false positives with no attack (Fig. 1, Sec. III-B)
+  fig7       SDS/B detection example on k-means (Fig. 7)
+  fig8       SDS/P detection example on FaceNet (Fig. 8)
+  compare    detector comparison, Scenario 1 or 2 (Figs. 11-13, 15-16)
+  overhead   normalized execution times (Fig. 14)
+  sweep      parameter sensitivity (Figs. 17-24)
+  train      train the LSTM-FCN cascade and report accuracy
+  ablation   design-choice ablations (raw threshold / period / microsim)
+  migration  detect-and-migrate response study (why migration alone fails)
+  containers serverless/container future-work study (Sec. VIII)
+  report     run the core experiment set, emit a markdown report`)
+}
+
+func parseMode(s string) (experiments.AttackMode, error) {
+	switch s {
+	case "buslock", "lock":
+		return experiments.BusLock, nil
+	case "cleansing", "llc":
+		return experiments.Cleansing, nil
+	case "none":
+		return experiments.NoAttack, nil
+	default:
+		return 0, fmt.Errorf("unknown attack %q (buslock|cleansing|none)", s)
+	}
+}
+
+func seedList(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+func cmdApps() error {
+	fmt.Printf("%-8s %-32s %-9s %s\n", "ABBREV", "NAME", "PERIODIC", "NOMINAL RUNTIME")
+	for _, s := range workload.All() {
+		period := "-"
+		if s.Periodic {
+			period = fmt.Sprintf("%.1fs", s.PeriodSec)
+		}
+		fmt.Printf("%-8s %-32s %-9s %.0fs\n", s.Abbrev, s.Name, period, s.WorkSeconds)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	app := fs.String("app", "KM", "application abbreviation")
+	atk := fs.String("attack", "buslock", "attack kind (buslock|cleansing)")
+	out := fs.String("out", "", "optional CSV output path")
+	seed := fs.Uint64("seed", 1, "run seed")
+	fs.Parse(args)
+	mode, err := parseMode(*atk)
+	if err != nil {
+		return err
+	}
+	tr, err := experiments.MeasurementTrace(*app, mode, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %v: attacked channel mean %.0f -> %.0f (%.2fx)\n",
+		tr.App, tr.Mode, tr.BeforeMean, tr.DuringMean, tr.DuringMean/tr.BeforeMean)
+	if tr.CleanPeriod > 0 {
+		fmt.Printf("period: %.1f -> %.1f MA windows\n", tr.CleanPeriod, tr.AttackedPeriod)
+	}
+	fmt.Printf("AccessNum  %s\n", trace.Sparkline(tr.Access, 80))
+	fmt.Printf("MissNum    %s\n", trace.Sparkline(tr.Miss, 80))
+	fmt.Println("            (attack starts at the midpoint)")
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, tr.Access, tr.Miss); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	app := fs.String("app", "KM", "application abbreviation")
+	atk := fs.String("attack", "buslock", "attack kind (buslock|cleansing|none)")
+	detName := fs.String("detector", "SDS", "SDS|KStest")
+	adaptive := fs.Bool("adaptive", false, "use the Scenario 2 on/off schedule")
+	seed := fs.Uint64("seed", 1, "run seed")
+	fs.Parse(args)
+	mode, err := parseMode(*atk)
+	if err != nil {
+		return err
+	}
+	var factory experiments.DetectorFactory
+	switch *detName {
+	case "SDS":
+		factory = experiments.SDSFactory
+	case "KStest":
+		factory = experiments.KSFactory
+	default:
+		return fmt.Errorf("unknown detector %q (SDS|KStest; DNN via compare -dnn)", *detName)
+	}
+	spec := experiments.DefaultRunSpec(*app, mode, *seed)
+	spec.Adaptive = *adaptive
+	res, err := experiments.Run(spec, core.DefaultParams(), map[string]experiments.DetectorFactory{*detName: factory})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("AccessNum  %s\n", trace.Sparkline(res.Access, 80))
+	fmt.Printf("MissNum    %s\n", trace.Sparkline(res.Miss, 80))
+	for _, iv := range res.Truth {
+		fmt.Printf("attack on  [%6.1f, %6.1f)\n", iv.Start, iv.End)
+	}
+	incidents, err := core.Incidents(res.Decisions[*detName])
+	if err != nil {
+		return err
+	}
+	incidents = core.MergeIncidents(incidents, 10)
+	if len(incidents) == 0 {
+		fmt.Println("no alarms raised")
+		return nil
+	}
+	fmt.Printf("%s incidents (gaps <= 10s merged):\n", *detName)
+	for _, in := range incidents {
+		fmt.Printf("  %v (%.0fs)\n", in, in.Duration())
+	}
+	a := experiments.Score(res, *detName, 30)
+	fmt.Printf("recall %.3f  specificity %.3f  mean delay %.1fs\n", a.Recall, a.Specificity, a.MeanDelay)
+	return nil
+}
+
+func cmdFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	dur := fs.Float64("dur", 600, "run duration per app (s)")
+	seeds := fs.Int("seeds", 3, "number of seeds")
+	fs.Parse(args)
+	res, err := experiments.Fig1KStestFalsePositives(*dur, seedList(*seeds))
+	if err != nil {
+		return err
+	}
+	fmt.Println("KStest false-alarm rate per L_R interval, no attack (paper Sec. III-B):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-6s %5.1f%%\n", r.App, 100*r.FalseAlarmRate)
+	}
+	return nil
+}
+
+func cmdFig7() error {
+	res, err := experiments.Fig7SDSBExample()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k-means SDS/B example: normal range [%.0f, %.0f]\n", res.Lower, res.Upper)
+	fmt.Printf("attack at window %d, alarm at window %d\n", res.AttackWindow, res.AlarmWindow)
+	return nil
+}
+
+func cmdFig8() error {
+	res, err := experiments.Fig8SDSPExample()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FaceNet SDS/P example: normal period %.1f MA windows\n", res.NormalPeriod)
+	fmt.Printf("attack at window %d, alarm at window %d\n", res.AttackWindow, res.AlarmWindow)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	atk := fs.String("attack", "buslock", "attack kind")
+	scenario := fs.Int("scenario", 1, "1 (half-run attack) or 2 (adaptive)")
+	appsFlag := fs.String("apps", strings.Join(workload.Abbrevs(), ","), "comma-separated apps")
+	withDNN := fs.Bool("dnn", false, "include the DNN detector (trains on first use)")
+	seeds := fs.Int("seeds", 2, "seeds per cell")
+	fs.Parse(args)
+	mode, err := parseMode(*atk)
+	if err != nil {
+		return err
+	}
+	apps := strings.Split(*appsFlag, ",")
+	factories := experiments.StandardFactories(*withDNN)
+	cells, err := experiments.CompareDetectors(apps, factories, mode, *scenario == 2, seedList(*seeds))
+	if err != nil {
+		return err
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].App != cells[j].App {
+			return cells[i].App < cells[j].App
+		}
+		return cells[i].Detector < cells[j].Detector
+	})
+	fmt.Printf("%-6s %-8s %8s %8s %8s\n", "APP", "SCHEME", "RECALL", "SPEC", "DELAY(s)")
+	for _, c := range cells {
+		fmt.Printf("%-6s %-8s %8.3f %8.3f %8.1f\n", c.App, c.Detector, c.Recall.Median, c.Spec.Median, c.Delay)
+	}
+	return nil
+}
+
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	appsFlag := fs.String("apps", "KM,BA", "comma-separated apps")
+	fs.Parse(args)
+	rows, err := experiments.Fig14Overhead(strings.Split(*appsFlag, ","))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-8s %s\n", "APP", "SCHEME", "NORMALIZED EXEC TIME")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-8s %.3f\n", r.App, r.Detector, r.Normalized)
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	param := fs.String("param", "alpha", "alpha|k|w|dw|wp|dwp|dnnw|dnndw")
+	app := fs.String("app", "KM", "application (periodic sweeps use FN)")
+	seeds := fs.Int("seeds", 1, "seeds per point")
+	fs.Parse(args)
+	sl := seedList(*seeds)
+	var pts []experiments.SweepPoint
+	var err error
+	switch *param {
+	case "alpha":
+		pts, err = experiments.Fig17AlphaSweep(*app, []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}, sl)
+	case "k":
+		pts, err = experiments.Fig18KSweep(*app, []float64{1.1, 1.125, 1.2, 1.5, 2.0}, sl)
+	case "w":
+		pts, err = experiments.Fig19WSweep(*app, []int{100, 200, 400, 600, 1000}, sl)
+	case "dw":
+		pts, err = experiments.Fig21DWSweep(*app, []int{20, 50, 100, 200}, sl)
+	case "wp":
+		pts, err = experiments.Fig23WPSweep("FN", []int{2, 3, 4, 6}, sl)
+	case "dwp":
+		pts, err = experiments.Fig24DWPSweep("FN", []int{5, 10, 15, 25}, sl)
+	case "dnnw":
+		pts, err = experiments.Fig20WSweepDNN([]int{100, 200, 400}, sl)
+	case "dnndw":
+		pts, err = experiments.Fig22DWSweepDNN([]int{20, 50, 100, 200}, sl)
+	default:
+		return fmt.Errorf("unknown sweep parameter %q", *param)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %8s %8s\n", strings.ToUpper(*param), "RECALL", "SPEC", "DELAY(s)")
+	for _, p := range pts {
+		fmt.Printf("%-10.4g %8.3f %8.3f %8.1f\n", p.Value, p.Recall, p.Specificity, p.Delay)
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	appsFlag := fs.String("apps", strings.Join(workload.Abbrevs(), ","), "apps to train on")
+	epochs := fs.Int("epochs", 12, "training epochs")
+	verbose := fs.Bool("v", false, "per-epoch progress")
+	fs.Parse(args)
+	spec := experiments.DefaultTrainingSpec()
+	spec.Apps = strings.Split(*appsFlag, ",")
+	spec.Train.Epochs = *epochs
+	if *verbose {
+		spec.Train.Verbose = func(line string) { fmt.Println(line) }
+	}
+	samples, err := experiments.GenerateCascadeSamples(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training corpus: %d windows across %d apps x 3 attack states\n", len(samples), len(spec.Apps))
+	cascade, err := experiments.TrainCascade(spec)
+	if err != nil {
+		return err
+	}
+	// Held-out evaluation: fresh windows from disjoint seeds.
+	var held []memdos.CascadeSample
+	for appIdx, app := range spec.Apps {
+		for _, mode := range []experiments.AttackMode{experiments.NoAttack, experiments.BusLock, experiments.Cleansing} {
+			wins, err := experiments.HeldOutWindows(app, mode, spec)
+			if err != nil {
+				return err
+			}
+			for _, w := range wins {
+				held = append(held, memdos.CascadeSample{
+					Window: w, AppLabel: appIdx, AttackLabel: experiments.AttackClassOf(mode),
+				})
+			}
+		}
+	}
+	appConf, atkConf, err := dnn.EvaluateCascade(cascade, held)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("held-out application classifier: accuracy %.3f, per-class recall %v\n",
+		appConf.Accuracy(), fmtRecalls(appConf.PerClassRecall()))
+	fmt.Printf("held-out attack classifier:      accuracy %.3f, per-class recall %v\n",
+		atkConf.Accuracy(), fmtRecalls(atkConf.PerClassRecall()))
+	return nil
+}
+
+// fmtRecalls renders per-class recalls compactly.
+func fmtRecalls(rs []float64) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%.2f", r)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func cmdMigration(args []string) error {
+	fs := flag.NewFlagSet("migration", flag.ExitOnError)
+	app := fs.String("app", "KM", "application")
+	delay := fs.Float64("delay", 60, "attacker re-co-location delay (s)")
+	dur := fs.Float64("dur", 600, "run duration (s)")
+	fs.Parse(args)
+	res, err := experiments.MigrationStudy(*app, *delay, *dur, 13)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detect-and-migrate against a persistent bus-locking attacker (%s, %gs re-co-location):\n", *app, *delay)
+	fmt.Printf("  migrations triggered:            %d\n", res.Migrations)
+	fmt.Printf("  time under attack, no response:  %.0f%%\n", 100*res.AttackedFractionNoResponse)
+	fmt.Printf("  time under attack, migrating:    %.0f%%\n", 100*res.AttackedFraction)
+	fmt.Printf("  victim mean speed, no response:  %.2f\n", res.MeanSpeedNoResponse)
+	fmt.Printf("  victim mean speed, migrating:    %.2f\n", res.MeanSpeedWithResponse)
+	fmt.Println("migration helps but cannot defeat the attack: the adversary re-co-locates (Sec. II).")
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("out", "", "output path (default stdout)")
+	appsFlag := fs.String("apps", "KM,TS,FN", "comma-separated apps")
+	seeds := fs.Int("seeds", 1, "seeds per experiment")
+	withDNN := fs.Bool("dnn", false, "include the DNN detector (slow: trains first)")
+	fs.Parse(args)
+	cfg := experiments.ReportConfig{
+		Seeds:   seedList(*seeds),
+		Apps:    strings.Split(*appsFlag, ","),
+		WithDNN: *withDNN,
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.WriteReport(w, cfg, time.Now()); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdContainers(args []string) error {
+	fs := flag.NewFlagSet("containers", flag.ExitOnError)
+	atk := fs.String("attack", "buslock", "attack kind")
+	fs.Parse(args)
+	mode, err := parseMode(*atk)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.ContainerStudy(mode, 600, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serverless function under %v (4 instances, 2s invocations):\n", mode)
+	fmt.Printf("  invocation throughput: %.2f/s -> %.2f/s\n", res.CleanThroughput, res.AttackedThroughput)
+	fmt.Printf("  samples per instance:  %d (SDS/B needs W=200 just for one window)\n", res.SamplesPerInstance)
+	fmt.Printf("  SDS/U on the per-function aggregate: recall %.3f, specificity %.3f, delay %.1fs\n",
+		res.Accuracy.Recall, res.Accuracy.Specificity, res.Accuracy.MeanDelay)
+	return nil
+}
+
+func cmdAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	which := fs.String("which", "raw", "raw|period|microsim")
+	fs.Parse(args)
+	switch *which {
+	case "raw":
+		accs, err := experiments.AblationRawThreshold("TS", seedList(1))
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"naive-coarse", "naive-fine", "SDS"} {
+			a := accs[name]
+			fmt.Printf("%-14s recall %.3f  specificity %.3f\n", name, a.Recall, a.Specificity)
+		}
+	case "period":
+		dft, acf, both, err := experiments.PeriodEstimatorAblation("FN", seedList(3))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean relative period error: DFT-only %.3f, ACF-only %.3f, DFT-ACF %.3f\n", dft, acf, both)
+	case "microsim":
+		micro, fast, err := experiments.MicrosimCalibration()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cleansing miss-ratio inflation: microsim %.2fx, fast model %.2fx\n", micro, fast)
+	default:
+		return fmt.Errorf("unknown ablation %q", *which)
+	}
+	return nil
+}

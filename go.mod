@@ -1,0 +1,3 @@
+module memdos
+
+go 1.22

@@ -1,0 +1,284 @@
+// Package attack implements the two memory DoS attacks of the paper and
+// the schedules that drive them.
+//
+// Atomic bus locking: the attacker repeatedly issues atomic operations
+// whose operands span cache lines, forcing the processor to lock all
+// internal memory buses; co-located VMs lose bus time proportional to the
+// attacker's lock duty cycle.
+//
+// LLC cleansing: the attacker first probes the shared LLC to find sets
+// where other VMs hold lines (Prober), then repeatedly re-fills those sets,
+// evicting the victims' lines and inflating their miss counters.
+//
+// Schedules model the attack VM's enable/disable behaviour: Scenario 1 of
+// the paper enables the attack for the second half of the run; Scenario 2
+// toggles it on and off for random durations uniform in [10, 50] seconds.
+package attack
+
+import (
+	"fmt"
+
+	"memdos/internal/sim"
+)
+
+// Kind identifies the attack mechanism.
+type Kind int
+
+const (
+	// BusLock is the atomic bus locking attack.
+	BusLock Kind = iota
+	// LLCCleansing is the LLC cleansing attack.
+	LLCCleansing
+)
+
+// String returns the paper's name for the attack kind.
+func (k Kind) String() string {
+	switch k {
+	case BusLock:
+		return "bus locking"
+	case LLCCleansing:
+		return "LLC cleansing"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Schedule decides when the attack VM has its attack enabled.
+type Schedule interface {
+	// Active reports whether the attack is enabled at simulated time now.
+	Active(now float64) bool
+}
+
+// Never is a schedule that never attacks (benign runs).
+type Never struct{}
+
+// Active always reports false.
+func (Never) Active(float64) bool { return false }
+
+// Always is a schedule that attacks continuously.
+type Always struct{}
+
+// Active always reports true.
+func (Always) Active(float64) bool { return true }
+
+// Window attacks during [Start, End).
+type Window struct {
+	Start, End float64
+}
+
+// Active reports whether now falls inside the window.
+func (w Window) Active(now float64) bool { return now >= w.Start && now < w.End }
+
+// Adaptive is the paper's Scenario 2 schedule: the attack toggles between
+// enabled and disabled, each state lasting a random duration drawn
+// uniformly from [MinDur, MaxDur) seconds. The realized schedule is
+// deterministic given the RNG seed and is materialized lazily.
+type Adaptive struct {
+	MinDur, MaxDur float64
+
+	rng *sim.RNG
+	// toggles[i] is the time of the i-th state flip; the schedule starts
+	// disabled at t=0.
+	toggles []float64
+	horizon float64
+}
+
+// NewAdaptive returns a Scenario 2 schedule with state durations uniform in
+// [minDur, maxDur) seconds (the paper uses [10, 50)).
+func NewAdaptive(rng *sim.RNG, minDur, maxDur float64) (*Adaptive, error) {
+	if minDur <= 0 || maxDur <= minDur {
+		return nil, fmt.Errorf("attack: invalid adaptive durations [%v, %v)", minDur, maxDur)
+	}
+	return &Adaptive{MinDur: minDur, MaxDur: maxDur, rng: rng}, nil
+}
+
+// extend materializes toggle times up to at least t.
+func (a *Adaptive) extend(t float64) {
+	for a.horizon <= t {
+		d := a.rng.Uniform(a.MinDur, a.MaxDur)
+		a.horizon += d
+		a.toggles = append(a.toggles, a.horizon)
+	}
+}
+
+// Active reports whether the attack is enabled at time now. The schedule
+// begins disabled; each toggle flips the state.
+func (a *Adaptive) Active(now float64) bool {
+	if now < 0 {
+		return false
+	}
+	a.extend(now)
+	// Count toggles at or before now; odd count = enabled.
+	flips := 0
+	for _, t := range a.toggles {
+		if t <= now {
+			flips++
+		} else {
+			break
+		}
+	}
+	return flips%2 == 1
+}
+
+// ActiveWindows returns the materialized attack-on intervals overlapping
+// [0, until); useful for computing ground truth labels.
+func (a *Adaptive) ActiveWindows(until float64) []Window {
+	a.extend(until)
+	var out []Window
+	prev := 0.0
+	active := false
+	for _, t := range a.toggles {
+		if active {
+			w := Window{Start: prev, End: t}
+			if w.Start < until {
+				if w.End > until {
+					w.End = until
+				}
+				out = append(out, w)
+			}
+		}
+		prev = t
+		active = !active
+		if prev >= until {
+			break
+		}
+	}
+	if active && prev < until {
+		out = append(out, Window{Start: prev, End: until})
+	}
+	return out
+}
+
+// Suppressor wraps a schedule with dynamically extendable suppression:
+// after the victim migrates away, the attacker has lost co-residence and
+// needs time to re-co-locate (shown feasible "in the order of minutes" by
+// the placement studies the paper cites) before its schedule applies again.
+type Suppressor struct {
+	inner Schedule
+	until float64
+}
+
+// NewSuppressor wraps the schedule; initially nothing is suppressed.
+func NewSuppressor(inner Schedule) (*Suppressor, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("attack: nil schedule")
+	}
+	return &Suppressor{inner: inner}, nil
+}
+
+// Active reports the inner schedule's state unless suppressed.
+func (s *Suppressor) Active(now float64) bool {
+	return now >= s.until && s.inner.Active(now)
+}
+
+// Suppress disables the attack until the given time (extending, never
+// shortening, an existing suppression).
+func (s *Suppressor) Suppress(until float64) {
+	if until > s.until {
+		s.until = until
+	}
+}
+
+// SuppressedUntil returns the current suppression horizon.
+func (s *Suppressor) SuppressedUntil() float64 { return s.until }
+
+// Attacker is a configured attack program bound to a schedule.
+type Attacker struct {
+	kind     Kind
+	schedule Schedule
+	// intensity is the lock duty cycle for BusLock, or the cleansing
+	// pressure (target miss-ratio inflation in [0,1]) for LLCCleansing.
+	intensity float64
+	// accessRate is the attacker's own bus demand in accesses per second
+	// while attacking (cleansing issues a storm of accesses).
+	accessRate float64
+	// ramp is the seconds the attack takes to reach full intensity after
+	// (re)activation — the cleansing attack's probing phase, during which
+	// the attacker is still locating contested sets. 0 = instant.
+	ramp float64
+	// activeSince tracks the current activation edge for ramping.
+	activeSince float64
+	wasActive   bool
+}
+
+// NewBusLock returns a bus locking attacker holding the atomic lock for
+// dutyCycle of each second (the paper's attack achieves ~0.6-0.8).
+func NewBusLock(schedule Schedule, dutyCycle float64) (*Attacker, error) {
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		return nil, fmt.Errorf("attack: bus lock duty cycle %v outside (0,1]", dutyCycle)
+	}
+	if schedule == nil {
+		return nil, fmt.Errorf("attack: nil schedule")
+	}
+	return &Attacker{kind: BusLock, schedule: schedule, intensity: dutyCycle, accessRate: 2e5}, nil
+}
+
+// NewLLCCleansing returns an LLC cleansing attacker. pressure in (0,1] is
+// the fraction of the victim's resident lines the attacker manages to keep
+// evicted (it maps to the victim's miss-ratio inflation); accessRate is the
+// attacker's own cleansing access storm in accesses per second.
+func NewLLCCleansing(schedule Schedule, pressure, accessRate float64) (*Attacker, error) {
+	if pressure <= 0 || pressure > 1 {
+		return nil, fmt.Errorf("attack: cleansing pressure %v outside (0,1]", pressure)
+	}
+	if accessRate < 0 {
+		return nil, fmt.Errorf("attack: negative access rate %v", accessRate)
+	}
+	if schedule == nil {
+		return nil, fmt.Errorf("attack: nil schedule")
+	}
+	return &Attacker{kind: LLCCleansing, schedule: schedule, intensity: pressure, accessRate: accessRate}, nil
+}
+
+// SetRamp configures a warm-up: after each (re)activation the attack's
+// effective intensity rises linearly from 0 to full over ramp seconds,
+// modelling the LLC cleansing attack's probing phase (the attacker must
+// first find the contested sets). Negative ramps are rejected.
+func (a *Attacker) SetRamp(ramp float64) error {
+	if ramp < 0 {
+		return fmt.Errorf("attack: negative ramp %v", ramp)
+	}
+	a.ramp = ramp
+	return nil
+}
+
+// Kind returns the attack mechanism.
+func (a *Attacker) Kind() Kind { return a.kind }
+
+// Active reports whether the attack is enabled at time now. Callers that
+// use ramping must call Active (or IntensityAt) with non-decreasing times,
+// as the simulation loop does, so activation edges are tracked.
+func (a *Attacker) Active(now float64) bool {
+	active := a.schedule.Active(now)
+	if active && !a.wasActive {
+		a.activeSince = now
+	}
+	a.wasActive = active
+	return active
+}
+
+// Intensity returns the full lock duty cycle (BusLock) or cleansing
+// pressure (LLCCleansing), ignoring any ramp.
+func (a *Attacker) Intensity() float64 { return a.intensity }
+
+// IntensityAt returns the effective intensity at time now, accounting for
+// the post-activation ramp. It returns 0 when the attack is inactive.
+func (a *Attacker) IntensityAt(now float64) float64 {
+	if !a.Active(now) {
+		return 0
+	}
+	if a.ramp <= 0 {
+		return a.intensity
+	}
+	frac := (now - a.activeSince) / a.ramp
+	if frac >= 1 {
+		return a.intensity
+	}
+	return a.intensity * frac
+}
+
+// AccessRate returns the attacker's own access demand while attacking.
+func (a *Attacker) AccessRate() float64 { return a.accessRate }
+
+// Schedule returns the attacker's schedule.
+func (a *Attacker) Schedule() Schedule { return a.schedule }

@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"fmt"
+
+	"memdos/internal/cache"
+)
+
+// Prober implements the reconnaissance phase of the LLC cleansing attack
+// against the cache substrate, using only the architectural interface an
+// attacker has (issuing memory accesses and observing its own hits and
+// misses — no privileged cache introspection).
+//
+// The protocol mirrors the paper: the attacker fills a set with its own
+// lines, lets the rest of the system run, then re-accesses the same lines.
+// If any re-access misses, some other VM touched the set in between and
+// evicted attacker lines — the set is contested and worth cleansing.
+type Prober struct {
+	c     *cache.Cache
+	owner cache.Owner
+	salt  uint64
+}
+
+// NewProber returns a prober that issues accesses as owner on c.
+func NewProber(c *cache.Cache, owner cache.Owner) *Prober {
+	return &Prober{c: c, owner: owner, salt: 1 << 20}
+}
+
+// Fill occupies every way of the given set with attacker-owned lines.
+func (p *Prober) Fill(set int) {
+	g := p.c.Geometry()
+	for w := 0; w < g.Ways; w++ {
+		p.c.Access(p.owner, p.c.AddrForSet(set, p.salt+uint64(w)))
+	}
+}
+
+// Recheck re-accesses the lines placed by the last Fill of the set and
+// returns how many of them missed, i.e. how many were evicted by other
+// owners in the interim.
+func (p *Prober) Recheck(set int) int {
+	g := p.c.Geometry()
+	misses := 0
+	for w := 0; w < g.Ways; w++ {
+		if !p.c.Access(p.owner, p.c.AddrForSet(set, p.salt+uint64(w))) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// FindContested runs the fill/interleave/recheck protocol over every cache
+// set. interleave is called between the fill and recheck passes and should
+// run the victim's activity (in the live attack this is simply elapsed
+// time). Sets with at least minEvictions missing lines are reported.
+func (p *Prober) FindContested(interleave func(), minEvictions int) []int {
+	if minEvictions < 1 {
+		minEvictions = 1
+	}
+	g := p.c.Geometry()
+	for set := 0; set < g.Sets; set++ {
+		p.Fill(set)
+	}
+	if interleave != nil {
+		interleave()
+	}
+	var contested []int
+	for set := 0; set < g.Sets; set++ {
+		if p.Recheck(set) >= minEvictions {
+			contested = append(contested, set)
+		}
+	}
+	return contested
+}
+
+// Cleanser repeatedly re-fills a target list of contested sets, evicting
+// whatever other owners load there. It is the execution phase of the LLC
+// cleansing attack in the microsimulation.
+type Cleanser struct {
+	c       *cache.Cache
+	owner   cache.Owner
+	targets []int
+	salt    uint64
+	cursor  int
+}
+
+// NewCleanser returns a cleanser for the given target sets. It returns an
+// error if there are no targets.
+func NewCleanser(c *cache.Cache, owner cache.Owner, targets []int) (*Cleanser, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("attack: cleanser needs at least one target set")
+	}
+	g := c.Geometry()
+	for _, s := range targets {
+		if s < 0 || s >= g.Sets {
+			return nil, fmt.Errorf("attack: target set %d out of range [0,%d)", s, g.Sets)
+		}
+	}
+	return &Cleanser{c: c, owner: owner, targets: targets, salt: 1 << 30}, nil
+}
+
+// Cleanse issues up to budget accesses, walking the target sets round-robin
+// and rotating line tags so each visit evicts the set's current contents.
+// It returns the number of accesses issued.
+func (cl *Cleanser) Cleanse(budget int) int {
+	g := cl.c.Geometry()
+	issued := 0
+	for issued < budget {
+		set := cl.targets[cl.cursor%len(cl.targets)]
+		cl.cursor++
+		for w := 0; w < g.Ways && issued < budget; w++ {
+			cl.c.Access(cl.owner, cl.c.AddrForSet(set, cl.salt+uint64(w)))
+			issued++
+		}
+		// Rotate tags every full sweep so re-visits always miss and evict
+		// rather than hit on resident attacker lines.
+		if cl.cursor%len(cl.targets) == 0 {
+			cl.salt += uint64(g.Ways)
+		}
+	}
+	return issued
+}
+
+// Targets returns the cleanser's target sets.
+func (cl *Cleanser) Targets() []int {
+	return append([]int(nil), cl.targets...)
+}

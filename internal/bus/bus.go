@@ -1,0 +1,162 @@
+// Package bus models the socket-internal memory buses that the atomic bus
+// locking attack abuses. Modern processors serialize certain atomic
+// operations by locking all internal memory buses; an attacker that issues
+// such operations continuously denies bus time to every co-located VM.
+//
+// The model is a per-step arbiter: components request ordinary accesses
+// and/or atomic-lock hold time each simulation step; Resolve then computes
+// how many of each owner's accesses were actually delivered given the lock
+// time claimed by *other* owners and the bus bandwidth cap.
+package bus
+
+import "fmt"
+
+// Owner identifies a bus client (a VM id); it matches cache.Owner
+// numerically but is declared separately so the packages stay decoupled.
+type Owner int32
+
+// Stats accumulates per-owner delivered/requested access counts.
+type Stats struct {
+	Requested float64
+	Delivered float64
+	// LockTime is the total simulated seconds of atomic bus lock this
+	// owner has held.
+	LockTime float64
+}
+
+// DeliveryRatio returns Delivered/Requested, or 1 when nothing was
+// requested (an idle client is not considered throttled).
+func (s Stats) DeliveryRatio() float64 {
+	if s.Requested == 0 {
+		return 1
+	}
+	return s.Delivered / s.Requested
+}
+
+// Bus is the shared-bus arbiter. It is not safe for concurrent use.
+type Bus struct {
+	// CapacityPerSecond caps total delivered accesses per simulated
+	// second. Zero or negative means uncapped.
+	capacity float64
+
+	requests map[Owner]float64
+	locks    map[Owner]float64
+	stats    map[Owner]*Stats
+}
+
+// New returns a bus with the given total bandwidth in accesses per
+// simulated second (<= 0 means uncapped).
+func New(capacityPerSecond float64) *Bus {
+	return &Bus{
+		capacity: capacityPerSecond,
+		requests: make(map[Owner]float64),
+		locks:    make(map[Owner]float64),
+		stats:    make(map[Owner]*Stats),
+	}
+}
+
+// RequestAccesses records that owner wants to perform n memory accesses in
+// the current step. Calls accumulate.
+func (b *Bus) RequestAccesses(o Owner, n float64) {
+	if n < 0 {
+		panic(fmt.Sprintf("bus: negative access request %v", n))
+	}
+	b.requests[o] += n
+}
+
+// RequestLock records that owner wants to hold the atomic bus lock for d
+// simulated seconds during the current step. Calls accumulate.
+func (b *Bus) RequestLock(o Owner, d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("bus: negative lock request %v", d))
+	}
+	b.locks[o] += d
+}
+
+// Resolve arbitrates the current step of length dt seconds and returns the
+// delivered access count per owner. Per-owner availability is
+// 1 - (lock time held by others)/dt, clamped to [0,1]; total lock demand is
+// first clamped to dt (the bus cannot be locked for longer than the step,
+// so competing lockers scale down proportionally). After lock scaling, if
+// aggregate demand exceeds the bandwidth cap for the unlocked fraction of
+// the step, deliveries scale down proportionally. Request and lock state
+// are cleared for the next step.
+func (b *Bus) Resolve(dt float64) map[Owner]float64 {
+	if dt <= 0 {
+		panic(fmt.Sprintf("bus: non-positive step %v", dt))
+	}
+	var totalLock float64
+	for _, d := range b.locks {
+		totalLock += d
+	}
+	lockScale := 1.0
+	if totalLock > dt {
+		lockScale = dt / totalLock
+	}
+
+	delivered := make(map[Owner]float64, len(b.requests))
+	var totalDelivered float64
+	for o, req := range b.requests {
+		othersLock := (totalLock - b.locks[o]) * lockScale
+		avail := 1 - othersLock/dt
+		if avail < 0 {
+			avail = 0
+		}
+		d := req * avail
+		delivered[o] = d
+		totalDelivered += d
+	}
+
+	// Bandwidth cap applies to the fraction of the step the bus is not
+	// held by atomic locks.
+	if b.capacity > 0 {
+		freeFrac := 1 - (totalLock*lockScale)/dt
+		if freeFrac < 0 {
+			freeFrac = 0
+		}
+		budget := b.capacity * dt * freeFrac
+		if totalDelivered > budget && totalDelivered > 0 {
+			scale := budget / totalDelivered
+			for o := range delivered {
+				delivered[o] *= scale
+			}
+		}
+	}
+
+	for o, req := range b.requests {
+		st := b.statsFor(o)
+		st.Requested += req
+		st.Delivered += delivered[o]
+	}
+	for o, d := range b.locks {
+		b.statsFor(o).LockTime += d * lockScale
+	}
+
+	b.requests = make(map[Owner]float64)
+	b.locks = make(map[Owner]float64)
+	return delivered
+}
+
+func (b *Bus) statsFor(o Owner) *Stats {
+	s := b.stats[o]
+	if s == nil {
+		s = &Stats{}
+		b.stats[o] = s
+	}
+	return s
+}
+
+// Stats returns a copy of the accumulated statistics for owner.
+func (b *Bus) Stats(o Owner) Stats {
+	if s := b.stats[o]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (b *Bus) ResetStats() {
+	for _, s := range b.stats {
+		*s = Stats{}
+	}
+}

@@ -1,0 +1,285 @@
+// Package cache models a shared last-level cache (LLC) as a set-associative
+// array with per-owner accounting. It is the substrate on which the LLC
+// cleansing attack operates: the attacker and the victim contend for the
+// same physical sets, so cleansing genuinely evicts victim lines and
+// inflates the victim's miss counter, exactly the observable the paper's
+// detectors consume.
+//
+// The geometry is configurable. The paper's testbed LLC (Xeon E5-2660 v4:
+// 35 MB, 20-way, 64-byte lines) is available as GeometryXeonE52660; unit
+// tests and the fast experiment path use a 1/64-scale geometry with the
+// same associativity so set-conflict behaviour is preserved.
+package cache
+
+import (
+	"fmt"
+
+	"memdos/internal/sim"
+)
+
+// Geometry describes a set-associative cache.
+type Geometry struct {
+	Sets     int // number of sets
+	Ways     int // associativity
+	LineSize int // bytes per line
+}
+
+// GeometryXeonE52660 is the paper's LLC: 35 MB, 20-way, 64 B lines
+// (28672 sets).
+var GeometryXeonE52660 = Geometry{Sets: 28672, Ways: 20, LineSize: 64}
+
+// GeometryScaled is the default reduced geometry used by tests and the fast
+// experiment path: same 20-way associativity at 1/64 the capacity
+// (448 sets x 20 ways x 64 B = 560 KiB).
+var GeometryScaled = Geometry{Sets: 448, Ways: 20, LineSize: 64}
+
+// Size returns the cache capacity in bytes.
+func (g Geometry) Size() int { return g.Sets * g.Ways * g.LineSize }
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Sets <= 0 || g.Ways <= 0 || g.LineSize <= 0 {
+		return fmt.Errorf("cache: invalid geometry %+v", g)
+	}
+	if g.LineSize&(g.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", g.LineSize)
+	}
+	return nil
+}
+
+// Owner identifies who loaded a cache line (e.g. a VM id). OwnerNone marks
+// an invalid (empty) line.
+type Owner int32
+
+// OwnerNone marks an empty way.
+const OwnerNone Owner = -1
+
+// line is one cache way: the tag identifies the cached block, owner who
+// loaded it, and lru its recency rank (higher = more recently used).
+type line struct {
+	tag   uint64
+	owner Owner
+	lru   uint32
+	valid bool
+}
+
+// Stats counts accesses and misses attributed to one owner.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+	// Evicted counts lines of this owner evicted by *other* owners —
+	// the direct footprint of cleansing.
+	Evicted uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 when no accesses occurred.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LLC with LRU replacement and per-owner
+// statistics. It is not safe for concurrent use; the simulation engine
+// steps components sequentially.
+type Cache struct {
+	geom     Geometry
+	lines    []line // sets*ways, set-major
+	lruClock uint32
+	stats    map[Owner]*Stats
+	setShift uint // log2(LineSize)
+	setMask  uint64
+	repl     replacer
+	policy   Policy
+}
+
+// New returns an empty cache with the given geometry and LRU replacement.
+func New(g Geometry) (*Cache, error) {
+	return NewWithPolicy(g, LRU, nil)
+}
+
+// NewWithPolicy returns an empty cache with the given replacement policy.
+// Random replacement requires an RNG; the other policies ignore it.
+func NewWithPolicy(g Geometry, policy Policy, rng *sim.RNG) (*Cache, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < g.LineSize {
+		shift++
+	}
+	c := &Cache{
+		geom:     g,
+		lines:    make([]line, g.Sets*g.Ways),
+		stats:    make(map[Owner]*Stats),
+		setShift: shift,
+		setMask:  uint64(g.Sets - 1),
+		policy:   policy,
+	}
+	for i := range c.lines {
+		c.lines[i].owner = OwnerNone
+	}
+	switch policy {
+	case LRU:
+		c.repl = lruReplacer{c}
+	case Random:
+		if rng == nil {
+			return nil, fmt.Errorf("cache: random replacement requires an RNG")
+		}
+		c.repl = &randomReplacer{ways: g.Ways, rng: rng}
+	case TreePLRU:
+		r, err := newPLRUReplacer(g.Sets, g.Ways)
+		if err != nil {
+			return nil, err
+		}
+		c.repl = r
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %v", policy)
+	}
+	return c, nil
+}
+
+// Policy returns the cache's replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// MustNew is New but panics on invalid geometry; for tests and tables of
+// known-good geometries.
+func MustNew(g Geometry) *Cache {
+	c, err := New(g)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache geometry.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// setIndex maps an address to its set. Non-power-of-two set counts use a
+// modulo; power-of-two counts use the usual mask.
+func (c *Cache) setIndex(addr uint64) int {
+	block := addr >> c.setShift
+	if uint64(c.geom.Sets)&(uint64(c.geom.Sets)-1) == 0 {
+		return int(block & c.setMask)
+	}
+	return int(block % uint64(c.geom.Sets))
+}
+
+// tag returns the block tag for an address.
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
+
+// statsFor returns (allocating if needed) the stats record for owner.
+func (c *Cache) statsFor(o Owner) *Stats {
+	s := c.stats[o]
+	if s == nil {
+		s = &Stats{}
+		c.stats[o] = s
+	}
+	return s
+}
+
+// Access simulates owner touching addr. It returns true on a hit. On a
+// miss the line is filled, evicting the LRU way; if the evicted line
+// belonged to a different owner, that owner's Evicted counter increments.
+func (c *Cache) Access(o Owner, addr uint64) bool {
+	set := c.setIndex(addr)
+	tag := c.tag(addr)
+	base := set * c.geom.Ways
+	ways := c.lines[base : base+c.geom.Ways]
+	st := c.statsFor(o)
+	st.Accesses++
+	c.lruClock++
+
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && l.tag == tag {
+			l.owner = o
+			c.repl.touch(set, i)
+			return true
+		}
+	}
+	// Miss: fill an invalid way if one exists, else ask the replacement
+	// policy for a victim.
+	way := -1
+	for i := range ways {
+		if !ways[i].valid {
+			way = i
+			break
+		}
+	}
+	if way < 0 {
+		way = c.repl.victim(set)
+	}
+	victim := &ways[way]
+	st.Misses++
+	if victim.valid && victim.owner != o && victim.owner != OwnerNone {
+		c.statsFor(victim.owner).Evicted++
+	}
+	victim.tag = tag
+	victim.owner = o
+	victim.valid = true
+	c.repl.touch(set, way)
+	return false
+}
+
+// Stats returns a copy of the statistics for owner.
+func (c *Cache) Stats(o Owner) Stats {
+	if s := c.stats[o]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all per-owner counters without disturbing contents.
+func (c *Cache) ResetStats() {
+	for _, s := range c.stats {
+		*s = Stats{}
+	}
+}
+
+// Occupancy returns, for each owner present, the number of valid lines it
+// currently holds.
+func (c *Cache) Occupancy() map[Owner]int {
+	occ := make(map[Owner]int)
+	for i := range c.lines {
+		if c.lines[i].valid {
+			occ[c.lines[i].owner]++
+		}
+	}
+	return occ
+}
+
+// SetOccupancy returns the number of valid lines each owner holds in one
+// set. The LLC cleansing attacker uses this (via probing, see Prober) to
+// find contested sets.
+func (c *Cache) SetOccupancy(set int) map[Owner]int {
+	if set < 0 || set >= c.geom.Sets {
+		panic(fmt.Sprintf("cache: set %d out of range", set))
+	}
+	occ := make(map[Owner]int)
+	base := set * c.geom.Ways
+	for i := 0; i < c.geom.Ways; i++ {
+		l := c.lines[base+i]
+		if l.valid {
+			occ[l.owner]++
+		}
+	}
+	return occ
+}
+
+// Flush invalidates every line. Statistics are preserved.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{owner: OwnerNone}
+	}
+}
+
+// AddrForSet constructs an address that maps to the given set with the
+// given tag salt; used by attackers to build eviction sets and by tests.
+func (c *Cache) AddrForSet(set int, salt uint64) uint64 {
+	if set < 0 || set >= c.geom.Sets {
+		panic(fmt.Sprintf("cache: set %d out of range", set))
+	}
+	return (salt*uint64(c.geom.Sets)+uint64(set))<<c.setShift | 0
+}

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"fmt"
+
+	"memdos/internal/sim"
+)
+
+// Policy selects the victim way on a miss. LRU is the paper's (and Intel's
+// documented) baseline; Random and TreePLRU exist for the mitigation
+// ablation: the LLC cleansing attack's probing relies on deterministic
+// eviction order, so randomized replacement blunts it — at a hit-rate
+// cost.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Policy = iota
+	// Random evicts a uniformly random way.
+	Random
+	// TreePLRU approximates LRU with a binary decision tree per set
+	// (the common hardware implementation).
+	TreePLRU
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "random"
+	case TreePLRU:
+		return "tree-PLRU"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// replacer picks victims and observes accesses for one cache.
+type replacer interface {
+	// touch records a hit or fill of the given way in the given set.
+	touch(set, way int)
+	// victim returns the way to evict in the set (only called when no
+	// invalid way exists).
+	victim(set int) int
+}
+
+// lruReplacer is the default recency-stamp implementation (state lives in
+// the line structs, managed by Cache itself); this type only adapts it to
+// the replacer interface for uniformity.
+type lruReplacer struct{ c *Cache }
+
+func (r lruReplacer) touch(set, way int) {
+	r.c.lines[set*r.c.geom.Ways+way].lru = r.c.lruClock
+}
+
+func (r lruReplacer) victim(set int) int {
+	base := set * r.c.geom.Ways
+	best := 0
+	for w := 1; w < r.c.geom.Ways; w++ {
+		if r.c.lines[base+w].lru < r.c.lines[base+best].lru {
+			best = w
+		}
+	}
+	return best
+}
+
+// randomReplacer evicts uniformly at random.
+type randomReplacer struct {
+	ways int
+	rng  *sim.RNG
+}
+
+func (r *randomReplacer) touch(int, int) {}
+func (r *randomReplacer) victim(int) int { return r.rng.Intn(r.ways) }
+
+// plruReplacer implements tree-PLRU: one bit per internal node of a binary
+// tree over the ways; touching a way points the path away from it, and the
+// victim is found by following the pointed-to path.
+type plruReplacer struct {
+	ways int
+	// bits[set] holds ways-1 tree bits.
+	bits [][]bool
+}
+
+func newPLRUReplacer(sets, ways int) (*plruReplacer, error) {
+	if ways&(ways-1) != 0 {
+		return nil, fmt.Errorf("cache: tree-PLRU needs power-of-two ways, got %d", ways)
+	}
+	r := &plruReplacer{ways: ways, bits: make([][]bool, sets)}
+	for i := range r.bits {
+		r.bits[i] = make([]bool, ways-1)
+	}
+	return r, nil
+}
+
+func (r *plruReplacer) touch(set, way int) {
+	bits := r.bits[set]
+	node := 0
+	lo, hi := 0, r.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			bits[node] = true // point away: next victim search goes right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			bits[node] = false
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (r *plruReplacer) victim(set int) int {
+	bits := r.bits[set]
+	node := 0
+	lo, hi := 0, r.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bits[node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}

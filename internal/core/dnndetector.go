@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"memdos/internal/dnn"
+	"memdos/internal/pcm"
+)
+
+// DNNDetector wraps a trained LSTM-FCN cascade (Section V) as a real-time
+// detector: the raw two-channel sample stream is windowed exactly like
+// SDS's input (window W, stride DW), each window is classified by the
+// cascade, and H_D consecutive attack classifications raise the alarm.
+//
+// Unlike SDS, the detector needs no per-application profile: the cascade's
+// first stage identifies the application and conditions the attack
+// classifier.
+type DNNDetector struct {
+	cascade *dnn.Cascade
+	params  Params
+
+	buf       [][]float64
+	sinceEval int
+	viol      violationCounter
+
+	lastApp    int
+	lastAttack int
+}
+
+// NewDNNDetector returns a detector around a trained cascade.
+func NewDNNDetector(cascade *dnn.Cascade, p Params) (*DNNDetector, error) {
+	if cascade == nil {
+		return nil, fmt.Errorf("core: nil cascade")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &DNNDetector{
+		cascade:    cascade,
+		params:     p,
+		viol:       violationCounter{threshold: p.HD},
+		lastApp:    -1,
+		lastAttack: dnn.ClassNoAttack,
+	}, nil
+}
+
+// Name returns "DNN".
+func (d *DNNDetector) Name() string { return "DNN" }
+
+// Overhead returns the modelled CPU cost of per-window inference (Fig. 14:
+// DNN costs 2-5%, above SDS's simple arithmetic).
+func (d *DNNDetector) Overhead() float64 { return 0.035 }
+
+// Push feeds one PCM sample; a decision is produced every DW samples once
+// a full window is available.
+func (d *DNNDetector) Push(s pcm.Sample) []Decision {
+	d.buf = append(d.buf, []float64{s.AccessNum, s.MissNum})
+	if over := len(d.buf) - d.params.W; over > 0 {
+		d.buf = d.buf[over:]
+	}
+	d.sinceEval++
+	if len(d.buf) < d.params.W || d.sinceEval < d.params.DW {
+		return nil
+	}
+	d.sinceEval = 0
+	app, attackClass := d.cascade.Classify(d.buf)
+	d.lastApp, d.lastAttack = app, attackClass
+	alarm := d.viol.observe(attackClass != dnn.ClassNoAttack)
+	return []Decision{{Time: s.Time, Alarm: alarm}}
+}
+
+// LastClassification returns the most recent (application, attack-class)
+// pair, for diagnostics; the application is -1 before the first window.
+func (d *DNNDetector) LastClassification() (app, attackClass int) {
+	return d.lastApp, d.lastAttack
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"memdos/internal/pcm"
+)
+
+// scriptedDetector emits a fixed alarm sequence, one decision per push.
+type scriptedDetector struct {
+	name   string
+	alarms []bool
+	i      int
+	// warmup pushes produce no decision.
+	warmup int
+}
+
+func (d *scriptedDetector) Name() string      { return d.name }
+func (d *scriptedDetector) Overhead() float64 { return 0.01 }
+func (d *scriptedDetector) Push(s pcm.Sample) []Decision {
+	if d.warmup > 0 {
+		d.warmup--
+		return nil
+	}
+	a := false
+	if d.i < len(d.alarms) {
+		a = d.alarms[d.i]
+		d.i++
+	}
+	return []Decision{{Time: s.Time, Alarm: a}}
+}
+
+func pushN(t *testing.T, e *Ensemble, n int) []Decision {
+	t.Helper()
+	var out []Decision
+	for i := 0; i < n; i++ {
+		out = append(out, e.Push(pcm.Sample{Time: float64(i)})...)
+	}
+	return out
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	d := &scriptedDetector{name: "a"}
+	if _, err := NewEnsemble(Any, d); err == nil {
+		t.Error("single member accepted")
+	}
+	if _, err := NewEnsemble(Any, d, nil); err == nil {
+		t.Error("nil member accepted")
+	}
+	if _, err := NewEnsemble(Vote(9), d, &scriptedDetector{name: "b"}); err == nil {
+		t.Error("unknown vote accepted")
+	}
+}
+
+func TestEnsembleVoteRules(t *testing.T) {
+	mk := func(vote Vote) *Ensemble {
+		a := &scriptedDetector{name: "a", alarms: []bool{true, true, false, false}}
+		b := &scriptedDetector{name: "b", alarms: []bool{true, false, true, false}}
+		c := &scriptedDetector{name: "c", alarms: []bool{true, false, false, false}}
+		e, err := NewEnsemble(vote, a, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	wants := map[Vote][]bool{
+		Any:      {true, true, true, false},
+		All:      {true, false, false, false},
+		Majority: {true, false, false, false},
+	}
+	for vote, want := range wants {
+		ds := pushN(t, mk(vote), 4)
+		if len(ds) != 4 {
+			t.Fatalf("%v: %d decisions", vote, len(ds))
+		}
+		for i := range want {
+			if ds[i].Alarm != want[i] {
+				t.Errorf("%v decision %d = %v, want %v", vote, i, ds[i].Alarm, want[i])
+			}
+		}
+	}
+	// Majority with 2-of-3 alarming.
+	a := &scriptedDetector{name: "a", alarms: []bool{true}}
+	b := &scriptedDetector{name: "b", alarms: []bool{true}}
+	c := &scriptedDetector{name: "c", alarms: []bool{false}}
+	e, _ := NewEnsemble(Majority, a, b, c)
+	if ds := pushN(t, e, 1); !ds[0].Alarm {
+		t.Error("2-of-3 majority should alarm")
+	}
+}
+
+func TestEnsembleWaitsForAllMembers(t *testing.T) {
+	fast := &scriptedDetector{name: "fast", alarms: []bool{true, true, true}}
+	slow := &scriptedDetector{name: "slow", alarms: []bool{true, true}, warmup: 1}
+	e, err := NewEnsemble(Any, fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pushN(t, e, 3)
+	// First push: only fast decided -> no ensemble decision.
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %d, want 2 (first push swallowed by warm-up)", len(ds))
+	}
+}
+
+func TestEnsembleNameAndOverhead(t *testing.T) {
+	a := &scriptedDetector{name: "A"}
+	b := &scriptedDetector{name: "B"}
+	e, _ := NewEnsemble(All, a, b)
+	if e.Name() != "Ensemble(all,A,B)" {
+		t.Errorf("name = %q", e.Name())
+	}
+	if e.Overhead() != 0.02 {
+		t.Errorf("overhead = %v", e.Overhead())
+	}
+	if Any.String() != "any" || All.String() != "all" || Majority.String() != "majority" {
+		t.Error("vote names wrong")
+	}
+	if Vote(9).String() == "" {
+		t.Error("unknown vote should format")
+	}
+}

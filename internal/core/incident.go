@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// Incident is one contiguous alarm episode reconstructed from a decision
+// time-line: the operational unit a cloud provider acts on (ticket, VM
+// migration, tenant notification).
+type Incident struct {
+	// Start is the first alarming decision's timestamp; End the first
+	// non-alarming decision after it (or the final decision time for a
+	// still-open incident).
+	Start, End float64
+	// Open reports an incident still alarming at the end of the stream.
+	Open bool
+}
+
+// Duration returns the incident length in seconds.
+func (in Incident) Duration() float64 { return in.End - in.Start }
+
+// String formats the incident compactly.
+func (in Incident) String() string {
+	state := "closed"
+	if in.Open {
+		state = "open"
+	}
+	return fmt.Sprintf("[%.1f, %.1f) %s", in.Start, in.End, state)
+}
+
+// Incidents folds a decision time-line into alarm episodes. Decisions must
+// be in chronological order (as every detector in this package emits
+// them); out-of-order input returns an error.
+func Incidents(decisions []Decision) ([]Incident, error) {
+	var out []Incident
+	var cur *Incident
+	last := -1.0
+	for _, d := range decisions {
+		if d.Time < last {
+			return nil, fmt.Errorf("core: decisions out of order at t=%v", d.Time)
+		}
+		last = d.Time
+		switch {
+		case d.Alarm && cur == nil:
+			out = append(out, Incident{Start: d.Time, End: d.Time, Open: true})
+			cur = &out[len(out)-1]
+		case d.Alarm && cur != nil:
+			cur.End = d.Time
+		case !d.Alarm && cur != nil:
+			cur.End = d.Time
+			cur.Open = false
+			cur = nil
+		}
+	}
+	return out, nil
+}
+
+// MergeIncidents joins incidents separated by gaps of at most maxGap
+// seconds — useful when a detector's alarm flaps briefly mid-attack and
+// the operator wants one ticket, not three.
+func MergeIncidents(incidents []Incident, maxGap float64) []Incident {
+	if len(incidents) == 0 {
+		return nil
+	}
+	out := []Incident{incidents[0]}
+	for _, in := range incidents[1:] {
+		lastIdx := len(out) - 1
+		if in.Start-out[lastIdx].End <= maxGap {
+			out[lastIdx].End = in.End
+			out[lastIdx].Open = in.Open
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memdos/internal/sim"
+)
+
+func decisions(pairs ...interface{}) []Decision {
+	var out []Decision
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Decision{Time: pairs[i].(float64), Alarm: pairs[i+1].(bool)})
+	}
+	return out
+}
+
+func TestIncidentsBasic(t *testing.T) {
+	ds := decisions(
+		1.0, false,
+		2.0, true,
+		3.0, true,
+		4.0, false,
+		5.0, false,
+		6.0, true,
+	)
+	incs, err := Incidents(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %v", incs)
+	}
+	if incs[0].Start != 2 || incs[0].End != 4 || incs[0].Open {
+		t.Errorf("first incident = %+v", incs[0])
+	}
+	if incs[1].Start != 6 || !incs[1].Open {
+		t.Errorf("second incident = %+v", incs[1])
+	}
+	if incs[0].Duration() != 2 {
+		t.Errorf("duration = %v", incs[0].Duration())
+	}
+	if incs[0].String() == "" || incs[1].String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestIncidentsEmptyAndQuiet(t *testing.T) {
+	if incs, err := Incidents(nil); err != nil || len(incs) != 0 {
+		t.Errorf("nil decisions: %v, %v", incs, err)
+	}
+	quiet := decisions(1.0, false, 2.0, false)
+	if incs, _ := Incidents(quiet); len(incs) != 0 {
+		t.Errorf("quiet stream produced incidents %v", incs)
+	}
+}
+
+func TestIncidentsOutOfOrder(t *testing.T) {
+	ds := decisions(2.0, true, 1.0, false)
+	if _, err := Incidents(ds); err == nil {
+		t.Error("out-of-order decisions accepted")
+	}
+}
+
+func TestMergeIncidents(t *testing.T) {
+	incs := []Incident{
+		{Start: 10, End: 20},
+		{Start: 22, End: 30},   // 2s gap: merge at maxGap>=2
+		{Start: 100, End: 110}, // far: never merged
+	}
+	merged := MergeIncidents(incs, 5)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if merged[0].Start != 10 || merged[0].End != 30 {
+		t.Errorf("merged[0] = %+v", merged[0])
+	}
+	// With zero gap tolerance nothing merges.
+	if got := MergeIncidents(incs, 0); len(got) != 3 {
+		t.Errorf("maxGap=0 merged to %v", got)
+	}
+	if MergeIncidents(nil, 1) != nil {
+		t.Error("nil incidents should merge to nil")
+	}
+}
+
+func TestIncidentsCoverAlarms(t *testing.T) {
+	// Property: every alarming decision falls inside some incident, and
+	// incidents never overlap.
+	check := func(seed uint64) bool {
+		r := newTestRNG(seed)
+		var ds []Decision
+		tm := 0.0
+		for i := 0; i < 100; i++ {
+			tm += 0.5
+			ds = append(ds, Decision{Time: tm, Alarm: r.Bool(0.3)})
+		}
+		incs, err := Incidents(ds)
+		if err != nil {
+			return false
+		}
+		for _, d := range ds {
+			if !d.Alarm {
+				continue
+			}
+			inside := false
+			for _, in := range incs {
+				if d.Time >= in.Start && (d.Time <= in.End || in.Open) {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return false
+			}
+		}
+		for i := 1; i < len(incs); i++ {
+			if incs[i].Start < incs[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// newTestRNG avoids importing sim at every call site in this file.
+func newTestRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }

@@ -1,0 +1,103 @@
+// Package core implements the paper's detection schemes: the
+// boundary-based statistical detector SDS/B, the period-based detector
+// SDS/P for periodic applications, the combined SDS, the KStest baseline of
+// Zhang et al. (AsiaCCS'17), and a wrapper turning a trained LSTM-FCN
+// cascade into a detector. All of them consume the per-VM PCM sample stream
+// and emit boolean attack decisions.
+package core
+
+import (
+	"fmt"
+
+	"memdos/internal/stats"
+)
+
+// Params collects the detection parameters of the paper's Table I.
+type Params struct {
+	// TPCM is the PCM sampling interval in seconds.
+	TPCM float64
+	// W is the raw-data window size of the moving average.
+	W int
+	// DW is the moving-average sliding step size.
+	DW int
+	// Alpha is the EWMA smoothing factor.
+	Alpha float64
+	// K is the boundary factor: normal range [mu-K*sigma, mu+K*sigma].
+	K float64
+	// HC is the consecutive-violation threshold of SDS/B.
+	HC int
+	// WPFactor sets the SDS/P analysis window W_P = WPFactor * period.
+	WPFactor int
+	// DWP is the SDS/P sliding step in MA samples.
+	DWP int
+	// HP is the consecutive period-change threshold of SDS/P.
+	HP int
+	// HD is the consecutive anomaly-window threshold of the DNN detector.
+	HD int
+	// PeriodTolerance is the relative deviation beyond which a measured
+	// period counts as changed (the paper describes "not the same as the
+	// normal period"; a tolerance absorbs estimation jitter).
+	PeriodTolerance float64
+}
+
+// DefaultParams returns the paper's Table I values.
+func DefaultParams() Params {
+	return Params{
+		TPCM:            0.01,
+		W:               200,
+		DW:              50,
+		Alpha:           0.2,
+		K:               1.125,
+		HC:              30,
+		WPFactor:        2,
+		DWP:             10,
+		HP:              5,
+		HD:              5,
+		PeriodTolerance: 0.2,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.TPCM <= 0:
+		return fmt.Errorf("core: TPCM %v must be positive", p.TPCM)
+	case p.W <= 0 || p.DW <= 0 || p.DW > p.W:
+		return fmt.Errorf("core: invalid W=%d, DW=%d", p.W, p.DW)
+	case p.Alpha <= 0 || p.Alpha > 1:
+		return fmt.Errorf("core: alpha %v outside (0,1]", p.Alpha)
+	case p.K <= 0:
+		return fmt.Errorf("core: boundary factor %v must be positive", p.K)
+	case p.HC <= 0 || p.HP <= 0 || p.HD <= 0:
+		return fmt.Errorf("core: thresholds must be positive (HC=%d HP=%d HD=%d)", p.HC, p.HP, p.HD)
+	case p.WPFactor < 2:
+		return fmt.Errorf("core: WPFactor %d must be at least 2", p.WPFactor)
+	case p.DWP <= 0:
+		return fmt.Errorf("core: DWP %d must be positive", p.DWP)
+	case p.PeriodTolerance <= 0 || p.PeriodTolerance >= 1:
+		return fmt.Errorf("core: period tolerance %v outside (0,1)", p.PeriodTolerance)
+	}
+	return nil
+}
+
+// Confidence returns the Chebyshev confidence level implied by K and HC:
+// 1 - (1/K^2)^HC (Section IV-B.1). For K <= 1 the bound is vacuous and the
+// confidence is 0.
+func (p Params) Confidence() float64 {
+	if p.K <= 1 {
+		return 0
+	}
+	return 1 - stats.ChebyshevFalseAlarmBound(p.K, p.HC)
+}
+
+// MinDetectionDelayB returns SDS/B's analytic minimum detection delay,
+// HC * DW * TPCM seconds (Section IV-B.1).
+func (p Params) MinDetectionDelayB() float64 {
+	return float64(p.HC) * float64(p.DW) * p.TPCM
+}
+
+// MinDetectionDelayP returns SDS/P's analytic minimum detection delay,
+// HP * DWP * DW * TPCM seconds (Section IV-B.2).
+func (p Params) MinDetectionDelayP() float64 {
+	return float64(p.HP) * float64(p.DWP) * float64(p.DW) * p.TPCM
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"memdos/internal/pcm"
+	"memdos/internal/stats"
+)
+
+// SDSB is the Boundary-based Statistical Detection Scheme (Section IV-B.1).
+//
+// It smooths each counter channel with a sliding-window moving average
+// followed by an EWMA, and checks every EWMA value against the profiled
+// normal range [mu_E - k*sigma_E, mu_E + k*sigma_E]. H_C consecutive
+// out-of-range values raise the alarm; by Chebyshev's inequality the
+// false-alarm probability is bounded by (1/k^2)^H_C regardless of the
+// application's counter distribution.
+//
+// Both channels are monitored because the two attacks leave different
+// footprints: bus locking depresses AccessNum, LLC cleansing inflates
+// MissNum. An excursion on either channel is anomalous.
+type SDSB struct {
+	params  Params
+	profile Profile
+
+	accMA  *stats.MAStream
+	missMA *stats.MAStream
+	accEW  *stats.EWMAStream
+	missEW *stats.EWMAStream
+
+	accViol  violationCounter
+	missViol violationCounter
+
+	// overhead is the modelled hypervisor CPU cost of the EWMA/bounds
+	// arithmetic (Fig. 14: SDS costs 1-2%).
+	overhead float64
+}
+
+// NewSDSB returns an SDS/B detector for an application with the given
+// attack-free profile.
+func NewSDSB(profile Profile, p Params) (*SDSB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if profile.AccessStd < 0 || profile.MissStd < 0 {
+		return nil, fmt.Errorf("core: negative profile deviations %+v", profile)
+	}
+	return &SDSB{
+		params:   p,
+		profile:  profile,
+		accMA:    stats.NewMAStream(p.W, p.DW),
+		missMA:   stats.NewMAStream(p.W, p.DW),
+		accEW:    stats.NewEWMAStream(p.Alpha),
+		missEW:   stats.NewEWMAStream(p.Alpha),
+		accViol:  violationCounter{threshold: p.HC},
+		missViol: violationCounter{threshold: p.HC},
+		overhead: 0.012,
+	}, nil
+}
+
+// Name returns "SDS/B".
+func (d *SDSB) Name() string { return "SDS/B" }
+
+// Overhead returns the modelled CPU cost.
+func (d *SDSB) Overhead() float64 { return d.overhead }
+
+// Push feeds one PCM sample. A decision is produced whenever a new MA
+// window completes (every DW samples).
+func (d *SDSB) Push(s pcm.Sample) []Decision {
+	accAvg, ok := d.accMA.Push(s.AccessNum)
+	missAvg, ok2 := d.missMA.Push(s.MissNum)
+	if !ok || !ok2 {
+		// The two streams share cadence; they fill in lockstep.
+		return nil
+	}
+	accE := d.accEW.Push(accAvg)
+	missE := d.missEW.Push(missAvg)
+
+	accLo, accHi := d.profile.AccessBounds(d.params.K)
+	missLo, missHi := d.profile.MissBounds(d.params.K)
+
+	accAlarm := d.accViol.observe(accE < accLo || accE > accHi)
+	missAlarm := d.missViol.observe(missE < missLo || missE > missHi)
+
+	return []Decision{{Time: s.Time, Alarm: accAlarm || missAlarm}}
+}
+
+// EWMAValues returns the latest EWMA of each channel, for diagnostics and
+// the Fig. 7 style detection-example plots.
+func (d *SDSB) EWMAValues() (access, miss float64) {
+	return d.accEW.Value(), d.missEW.Value()
+}

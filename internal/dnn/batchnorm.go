@@ -1,0 +1,140 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm normalizes each channel over the (batch, time) axes during
+// training and tracks running statistics for inference, with learned scale
+// (gamma) and shift (beta).
+type BatchNorm struct {
+	C        int
+	Momentum float64
+	Eps      float64
+
+	gamma, beta *Param
+	runMean     []float64
+	runVar      []float64
+
+	// forward cache
+	x      *Tensor
+	mean   []float64
+	invStd []float64
+	xhat   []float64
+}
+
+// NewBatchNorm returns a batch-normalization layer over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C:        c,
+		Momentum: 0.9,
+		Eps:      1e-5,
+		gamma:    newParam(fmt.Sprintf("bn%d.gamma", c), c),
+		beta:     newParam(fmt.Sprintf("bn%d.beta", c), c),
+		runMean:  make([]float64, c),
+		runVar:   make([]float64, c),
+	}
+	for i := range bn.gamma.W {
+		bn.gamma.W[i] = 1
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes x. In training mode the batch statistics are used and
+// folded into the running estimates; at inference the running estimates
+// are used.
+func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != bn.C {
+		panic(fmt.Sprintf("dnn: batchnorm expects %d channels, got %d", bn.C, x.C))
+	}
+	n := x.B * x.T
+	y := NewTensor(x.B, x.T, x.C)
+	if !train {
+		for i := 0; i < n; i++ {
+			off := i * x.C
+			for c := 0; c < x.C; c++ {
+				xh := (x.Data[off+c] - bn.runMean[c]) / math.Sqrt(bn.runVar[c]+bn.Eps)
+				y.Data[off+c] = bn.gamma.W[c]*xh + bn.beta.W[c]
+			}
+		}
+		bn.x = nil
+		return y
+	}
+
+	bn.x = x
+	bn.mean = make([]float64, x.C)
+	variance := make([]float64, x.C)
+	for i := 0; i < n; i++ {
+		off := i * x.C
+		for c := 0; c < x.C; c++ {
+			bn.mean[c] += x.Data[off+c]
+		}
+	}
+	for c := range bn.mean {
+		bn.mean[c] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		off := i * x.C
+		for c := 0; c < x.C; c++ {
+			d := x.Data[off+c] - bn.mean[c]
+			variance[c] += d * d
+		}
+	}
+	bn.invStd = make([]float64, x.C)
+	for c := range variance {
+		variance[c] /= float64(n)
+		bn.invStd[c] = 1 / math.Sqrt(variance[c]+bn.Eps)
+		bn.runMean[c] = bn.Momentum*bn.runMean[c] + (1-bn.Momentum)*bn.mean[c]
+		bn.runVar[c] = bn.Momentum*bn.runVar[c] + (1-bn.Momentum)*variance[c]
+	}
+	bn.xhat = make([]float64, len(x.Data))
+	for i := 0; i < n; i++ {
+		off := i * x.C
+		for c := 0; c < x.C; c++ {
+			xh := (x.Data[off+c] - bn.mean[c]) * bn.invStd[c]
+			bn.xhat[off+c] = xh
+			y.Data[off+c] = bn.gamma.W[c]*xh + bn.beta.W[c]
+		}
+	}
+	return y
+}
+
+// Backward implements the standard batch-norm gradient.
+func (bn *BatchNorm) Backward(grad *Tensor) *Tensor {
+	if bn.x == nil {
+		panic("dnn: batchnorm backward without training forward")
+	}
+	x := bn.x
+	n := x.B * x.T
+	nf := float64(n)
+	dx := NewTensor(x.B, x.T, x.C)
+
+	sumDy := make([]float64, x.C)
+	sumDyXhat := make([]float64, x.C)
+	for i := 0; i < n; i++ {
+		off := i * x.C
+		for c := 0; c < x.C; c++ {
+			g := grad.Data[off+c]
+			sumDy[c] += g
+			sumDyXhat[c] += g * bn.xhat[off+c]
+		}
+	}
+	for c := 0; c < x.C; c++ {
+		bn.beta.Grad[c] += sumDy[c]
+		bn.gamma.Grad[c] += sumDyXhat[c]
+	}
+	for i := 0; i < n; i++ {
+		off := i * x.C
+		for c := 0; c < x.C; c++ {
+			g := grad.Data[off+c]
+			dx.Data[off+c] = bn.gamma.W[c] * bn.invStd[c] / nf *
+				(nf*g - sumDy[c] - bn.xhat[off+c]*sumDyXhat[c])
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }

@@ -1,0 +1,104 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/sim"
+)
+
+// Conv1D is a temporal convolution with "same" zero padding:
+// y[b][t][o] = bias[o] + sum_{dt, i} w[o][dt][i] * x[b][t+dt-k/2][i].
+type Conv1D struct {
+	In, Out, K int
+	w, b       *Param
+	x          *Tensor
+}
+
+// NewConv1D returns a Conv1D with He-uniform initialization (the layers are
+// followed by ReLU).
+func NewConv1D(in, out, k int, rng *sim.RNG) *Conv1D {
+	if k <= 0 || k%2 == 0 {
+		panic(fmt.Sprintf("dnn: conv kernel %d must be odd and positive", k))
+	}
+	c := &Conv1D{
+		In: in, Out: out, K: k,
+		w: newParam(fmt.Sprintf("conv%dx%dx%d.w", out, k, in), out*k*in),
+		b: newParam(fmt.Sprintf("conv%dx%dx%d.b", out, k, in), out),
+	}
+	limit := math.Sqrt(6 / float64(in*k))
+	for i := range c.w.W {
+		c.w.W[i] = rng.Uniform(-limit, limit)
+	}
+	return c
+}
+
+// widx returns the flat index of w[o][dt][i].
+func (c *Conv1D) widx(o, dt, i int) int { return (o*c.K+dt)*c.In + i }
+
+// Forward computes the padded convolution.
+func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != c.In {
+		panic(fmt.Sprintf("dnn: conv expects %d channels, got %d", c.In, x.C))
+	}
+	c.x = x
+	y := NewTensor(x.B, x.T, c.Out)
+	half := c.K / 2
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			yr := y.Row(b, t)
+			for o := 0; o < c.Out; o++ {
+				sum := c.b.W[o]
+				for dt := 0; dt < c.K; dt++ {
+					src := t + dt - half
+					if src < 0 || src >= x.T {
+						continue
+					}
+					xr := x.Row(b, src)
+					base := c.widx(o, dt, 0)
+					for i := 0; i < c.In; i++ {
+						sum += c.w.W[base+i] * xr[i]
+					}
+				}
+				yr[o] = sum
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (c *Conv1D) Backward(grad *Tensor) *Tensor {
+	x := c.x
+	dx := NewTensor(x.B, x.T, c.In)
+	half := c.K / 2
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			gr := grad.Row(b, t)
+			for o := 0; o < c.Out; o++ {
+				g := gr[o]
+				if g == 0 {
+					continue
+				}
+				c.b.Grad[o] += g
+				for dt := 0; dt < c.K; dt++ {
+					src := t + dt - half
+					if src < 0 || src >= x.T {
+						continue
+					}
+					xr := x.Row(b, src)
+					dxr := dx.Row(b, src)
+					base := c.widx(o, dt, 0)
+					for i := 0; i < c.In; i++ {
+						c.w.Grad[base+i] += xr[i] * g
+						dxr[i] += c.w.W[base+i] * g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }

@@ -1,0 +1,264 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/sim"
+)
+
+// Dense is a fully connected layer applied per (batch, time) position:
+// y = x*W + b with W of shape [Cin][Cout].
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *Tensor
+}
+
+// NewDense returns a Dense layer with Glorot-uniform initialization.
+func NewDense(in, out int, rng *sim.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		w: newParam(fmt.Sprintf("dense%dx%d.w", in, out), in*out),
+		b: newParam(fmt.Sprintf("dense%dx%d.b", in, out), out),
+	}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.w.W {
+		d.w.W[i] = rng.Uniform(-limit, limit)
+	}
+	return d
+}
+
+// Forward computes the affine map.
+func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != d.In {
+		panic(fmt.Sprintf("dnn: dense expects %d channels, got %d", d.In, x.C))
+	}
+	d.x = x
+	y := NewTensor(x.B, x.T, d.Out)
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			xr, yr := x.Row(b, t), y.Row(b, t)
+			for o := 0; o < d.Out; o++ {
+				sum := d.b.W[o]
+				for i := 0; i < d.In; i++ {
+					sum += xr[i] * d.w.W[i*d.Out+o]
+				}
+				yr[o] = sum
+			}
+		}
+	}
+	return y
+}
+
+// Backward propagates gradients and accumulates dW, db.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	x := d.x
+	dx := NewTensor(x.B, x.T, d.In)
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			xr, gr, dxr := x.Row(b, t), grad.Row(b, t), dx.Row(b, t)
+			for o := 0; o < d.Out; o++ {
+				g := gr[o]
+				d.b.Grad[o] += g
+				for i := 0; i < d.In; i++ {
+					d.w.Grad[i*d.Out+o] += xr[i] * g
+					dxr[i] += d.w.W[i*d.Out+o] * g
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative inputs.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout zeroes a fraction of activations during training and scales the
+// survivors (inverted dropout).
+type Dropout struct {
+	Rate float64
+	rng  *sim.RNG
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with the given drop rate.
+func NewDropout(rate float64, rng *sim.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("dnn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the mask during training; identity at inference.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range x.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *Tensor) *Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }
+
+// GlobalAvgPool averages over the time axis: [B][T][C] -> [B][1][C].
+type GlobalAvgPool struct {
+	t int
+}
+
+// Forward computes per-channel time averages.
+func (g *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
+	g.t = x.T
+	y := NewTensor(x.B, 1, x.C)
+	for b := 0; b < x.B; b++ {
+		yr := y.Row(b, 0)
+		for t := 0; t < x.T; t++ {
+			xr := x.Row(b, t)
+			for c := range yr {
+				yr[c] += xr[c]
+			}
+		}
+		for c := range yr {
+			yr[c] /= float64(x.T)
+		}
+	}
+	return y
+}
+
+// Backward spreads the gradient uniformly over time.
+func (g *GlobalAvgPool) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(grad.B, g.t, grad.C)
+	inv := 1 / float64(g.t)
+	for b := 0; b < grad.B; b++ {
+		gr := grad.Row(b, 0)
+		for t := 0; t < g.t; t++ {
+			dxr := dx.Row(b, t)
+			for c := range gr {
+				dxr[c] = gr[c] * inv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Transpose is the LSTM-FCN "dimension shuffle": it swaps the time and
+// channel axes, so the LSTM branch perceives the same window from the
+// transposed view ([B][T][C] -> [B][C][T]).
+type Transpose struct{}
+
+// Forward swaps axes.
+func (Transpose) Forward(x *Tensor, train bool) *Tensor {
+	y := NewTensor(x.B, x.C, x.T)
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			for c := 0; c < x.C; c++ {
+				y.Set(b, c, t, x.At(b, t, c))
+			}
+		}
+	}
+	return y
+}
+
+// Backward swaps axes of the gradient.
+func (Transpose) Backward(grad *Tensor) *Tensor {
+	return Transpose{}.Forward(grad, false)
+}
+
+// Params returns nil.
+func (Transpose) Params() []*Param { return nil }
+
+// concatChannels concatenates vector activations ([B][1][*]) along the
+// channel axis and splits gradients back.
+func concatChannels(a, b *Tensor) *Tensor {
+	if a.B != b.B || a.T != 1 || b.T != 1 {
+		panic("dnn: concat expects matching [B][1][*] tensors")
+	}
+	y := NewTensor(a.B, 1, a.C+b.C)
+	for i := 0; i < a.B; i++ {
+		copy(y.Row(i, 0)[:a.C], a.Row(i, 0))
+		copy(y.Row(i, 0)[a.C:], b.Row(i, 0))
+	}
+	return y
+}
+
+// splitChannels splits a gradient produced against concatChannels output.
+func splitChannels(grad *Tensor, ca, cb int) (*Tensor, *Tensor) {
+	if grad.C != ca+cb {
+		panic(fmt.Sprintf("dnn: split %d != %d+%d", grad.C, ca, cb))
+	}
+	ga := NewTensor(grad.B, 1, ca)
+	gb := NewTensor(grad.B, 1, cb)
+	for i := 0; i < grad.B; i++ {
+		copy(ga.Row(i, 0), grad.Row(i, 0)[:ca])
+		copy(gb.Row(i, 0), grad.Row(i, 0)[ca:])
+	}
+	return ga, gb
+}

@@ -1,0 +1,64 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxCrossEntropy couples the softmax activation with categorical
+// cross-entropy loss: Loss(logits, labels) returns the mean loss, the
+// per-sample probabilities, and the gradient w.r.t. the logits.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, probs *Tensor, grad *Tensor) {
+	if logits.T != 1 {
+		panic(fmt.Sprintf("dnn: loss expects [B][1][K] logits, got T=%d", logits.T))
+	}
+	if len(labels) != logits.B {
+		panic(fmt.Sprintf("dnn: %d labels for batch of %d", len(labels), logits.B))
+	}
+	B, K := logits.B, logits.C
+	probs = NewTensor(B, 1, K)
+	grad = NewTensor(B, 1, K)
+	for b := 0; b < B; b++ {
+		if labels[b] < 0 || labels[b] >= K {
+			panic(fmt.Sprintf("dnn: label %d out of range [0,%d)", labels[b], K))
+		}
+		lr := logits.Row(b, 0)
+		pr := probs.Row(b, 0)
+		maxL := lr[0]
+		for _, v := range lr[1:] {
+			if v > maxL {
+				maxL = v
+			}
+		}
+		var sum float64
+		for k := 0; k < K; k++ {
+			pr[k] = math.Exp(lr[k] - maxL)
+			sum += pr[k]
+		}
+		for k := 0; k < K; k++ {
+			pr[k] /= sum
+		}
+		p := pr[labels[b]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		gr := grad.Row(b, 0)
+		for k := 0; k < K; k++ {
+			gr[k] = pr[k] / float64(B)
+		}
+		gr[labels[b]] -= 1 / float64(B)
+	}
+	return loss / float64(B), probs, grad
+}
+
+// Argmax returns the index of the largest value in xs.
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs[1:] {
+		if v > xs[best] {
+			best = i + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,338 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/sim"
+)
+
+// LSTM is a single-layer long short-term memory network. Forward consumes
+// [B][T][C] and emits every hidden state, [B][T][H]; pair it with Attention
+// (or take the final step) for classification.
+type LSTM struct {
+	In, Hidden int
+	wx, wh, b  *Param
+
+	// forward cache for BPTT
+	x          *Tensor
+	hs, cs     *Tensor // hidden and cell states, [B][T][H]
+	gates      []float64
+	batch, tln int
+}
+
+// Gate order within the fused weight matrices.
+const (
+	gateI = iota
+	gateF
+	gateO
+	gateG
+	numGates
+)
+
+// NewLSTM returns an LSTM with Glorot-initialized weights and forget-gate
+// bias 1.
+func NewLSTM(in, hidden int, rng *sim.RNG) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		wx: newParam(fmt.Sprintf("lstm%dx%d.wx", in, hidden), in*numGates*hidden),
+		wh: newParam(fmt.Sprintf("lstm%dx%d.wh", in, hidden), hidden*numGates*hidden),
+		b:  newParam(fmt.Sprintf("lstm%dx%d.b", in, hidden), numGates*hidden),
+	}
+	limX := math.Sqrt(6 / float64(in+hidden))
+	for i := range l.wx.W {
+		l.wx.W[i] = rng.Uniform(-limX, limX)
+	}
+	limH := math.Sqrt(6 / float64(2*hidden))
+	for i := range l.wh.W {
+		l.wh.W[i] = rng.Uniform(-limH, limH)
+	}
+	for h := 0; h < hidden; h++ {
+		l.b.W[gateF*hidden+h] = 1
+	}
+	return l
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// gateAt returns the cached activation of the given gate at (b, t, h).
+func (l *LSTM) gateAt(b, t, g, h int) float64 {
+	return l.gates[((b*l.tln+t)*numGates+g)*l.Hidden+h]
+}
+
+func (l *LSTM) setGate(b, t, g, h int, v float64) {
+	l.gates[((b*l.tln+t)*numGates+g)*l.Hidden+h] = v
+}
+
+// Forward runs the recurrence from zero initial state.
+func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
+	if x.C != l.In {
+		panic(fmt.Sprintf("dnn: lstm expects %d channels, got %d", l.In, x.C))
+	}
+	B, T, H := x.B, x.T, l.Hidden
+	l.x = x
+	l.batch, l.tln = B, T
+	l.hs = NewTensor(B, T, H)
+	l.cs = NewTensor(B, T, H)
+	l.gates = make([]float64, B*T*numGates*H)
+
+	pre := make([]float64, numGates*H)
+	for b := 0; b < B; b++ {
+		var hPrev, cPrev []float64
+		for t := 0; t < T; t++ {
+			xr := x.Row(b, t)
+			for j := range pre {
+				pre[j] = l.b.W[j]
+			}
+			for i, xv := range xr {
+				if xv == 0 {
+					continue
+				}
+				base := i * numGates * H
+				for j := 0; j < numGates*H; j++ {
+					pre[j] += l.wx.W[base+j] * xv
+				}
+			}
+			if hPrev != nil {
+				for i, hv := range hPrev {
+					if hv == 0 {
+						continue
+					}
+					base := i * numGates * H
+					for j := 0; j < numGates*H; j++ {
+						pre[j] += l.wh.W[base+j] * hv
+					}
+				}
+			}
+			hr := l.hs.Row(b, t)
+			cr := l.cs.Row(b, t)
+			for h := 0; h < H; h++ {
+				ig := sigmoid(pre[gateI*H+h])
+				fg := sigmoid(pre[gateF*H+h])
+				og := sigmoid(pre[gateO*H+h])
+				gg := math.Tanh(pre[gateG*H+h])
+				l.setGate(b, t, gateI, h, ig)
+				l.setGate(b, t, gateF, h, fg)
+				l.setGate(b, t, gateO, h, og)
+				l.setGate(b, t, gateG, h, gg)
+				c := ig * gg
+				if cPrev != nil {
+					c += fg * cPrev[h]
+				}
+				cr[h] = c
+				hr[h] = og * math.Tanh(c)
+			}
+			hPrev, cPrev = hr, cr
+		}
+	}
+	return l.hs
+}
+
+// Backward runs truncated-free full BPTT over the stored sequence.
+func (l *LSTM) Backward(grad *Tensor) *Tensor {
+	x := l.x
+	B, T, H := l.batch, l.tln, l.Hidden
+	dx := NewTensor(B, T, x.C)
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	dpre := make([]float64, numGates*H)
+
+	for b := 0; b < B; b++ {
+		for i := range dh {
+			dh[i], dc[i] = 0, 0
+		}
+		for t := T - 1; t >= 0; t-- {
+			gr := grad.Row(b, t)
+			cr := l.cs.Row(b, t)
+			var cPrev []float64
+			if t > 0 {
+				cPrev = l.cs.Row(b, t-1)
+			}
+			for h := 0; h < H; h++ {
+				dhT := dh[h] + gr[h]
+				ig := l.gateAt(b, t, gateI, h)
+				fg := l.gateAt(b, t, gateF, h)
+				og := l.gateAt(b, t, gateO, h)
+				gg := l.gateAt(b, t, gateG, h)
+				tc := math.Tanh(cr[h])
+				dcT := dc[h] + dhT*og*(1-tc*tc)
+				dpre[gateO*H+h] = dhT * tc * og * (1 - og)
+				dpre[gateI*H+h] = dcT * gg * ig * (1 - ig)
+				dpre[gateG*H+h] = dcT * ig * (1 - gg*gg)
+				if cPrev != nil {
+					dpre[gateF*H+h] = dcT * cPrev[h] * fg * (1 - fg)
+					dc[h] = dcT * fg
+				} else {
+					dpre[gateF*H+h] = 0
+					dc[h] = 0
+				}
+			}
+			// Parameter and input gradients.
+			xr := x.Row(b, t)
+			dxr := dx.Row(b, t)
+			for j := 0; j < numGates*H; j++ {
+				l.b.Grad[j] += dpre[j]
+			}
+			for i, xv := range xr {
+				base := i * numGates * H
+				var di float64
+				for j := 0; j < numGates*H; j++ {
+					l.wx.Grad[base+j] += xv * dpre[j]
+					di += l.wx.W[base+j] * dpre[j]
+				}
+				dxr[i] = di
+			}
+			for i := range dh {
+				dh[i] = 0
+			}
+			if t > 0 {
+				hPrev := l.hs.Row(b, t-1)
+				for i, hv := range hPrev {
+					base := i * numGates * H
+					var dhi float64
+					for j := 0; j < numGates*H; j++ {
+						l.wh.Grad[base+j] += hv * dpre[j]
+						dhi += l.wh.W[base+j] * dpre[j]
+					}
+					dh[i] = dhi
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the fused gate weights and biases.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+// Attention pools a hidden-state sequence [B][T][H] into a context vector
+// [B][1][H] with additive (Bahdanau-style) attention:
+// score_t = v . tanh(Wa h_t), a = softmax(score), ctx = sum_t a_t h_t.
+type Attention struct {
+	H      int
+	wa, va *Param
+
+	h     *Tensor
+	tanhW *Tensor
+	attn  [][]float64
+}
+
+// NewAttention returns an attention layer over H-dimensional states.
+func NewAttention(h int, rng *sim.RNG) *Attention {
+	a := &Attention{
+		H:  h,
+		wa: newParam(fmt.Sprintf("attn%d.w", h), h*h),
+		va: newParam(fmt.Sprintf("attn%d.v", h), h),
+	}
+	limit := math.Sqrt(6 / float64(2*h))
+	for i := range a.wa.W {
+		a.wa.W[i] = rng.Uniform(-limit, limit)
+	}
+	for i := range a.va.W {
+		a.va.W[i] = rng.Uniform(-limit, limit)
+	}
+	return a
+}
+
+// Forward computes the attention-weighted context.
+func (a *Attention) Forward(h *Tensor, train bool) *Tensor {
+	if h.C != a.H {
+		panic(fmt.Sprintf("dnn: attention expects %d channels, got %d", a.H, h.C))
+	}
+	B, T, H := h.B, h.T, a.H
+	a.h = h
+	a.tanhW = NewTensor(B, T, H)
+	a.attn = make([][]float64, B)
+	y := NewTensor(B, 1, H)
+	for b := 0; b < B; b++ {
+		scores := make([]float64, T)
+		for t := 0; t < T; t++ {
+			hr := h.Row(b, t)
+			tw := a.tanhW.Row(b, t)
+			var score float64
+			for o := 0; o < H; o++ {
+				var s float64
+				for i := 0; i < H; i++ {
+					s += a.wa.W[i*H+o] * hr[i]
+				}
+				tw[o] = math.Tanh(s)
+				score += a.va.W[o] * tw[o]
+			}
+			scores[t] = score
+		}
+		// softmax
+		maxS := scores[0]
+		for _, s := range scores[1:] {
+			if s > maxS {
+				maxS = s
+			}
+		}
+		var sum float64
+		for t := range scores {
+			scores[t] = math.Exp(scores[t] - maxS)
+			sum += scores[t]
+		}
+		for t := range scores {
+			scores[t] /= sum
+		}
+		a.attn[b] = scores
+		yr := y.Row(b, 0)
+		for t := 0; t < T; t++ {
+			hr := h.Row(b, t)
+			for i := 0; i < H; i++ {
+				yr[i] += scores[t] * hr[i]
+			}
+		}
+	}
+	return y
+}
+
+// Backward propagates through the weighted sum, the softmax, and the score
+// network.
+func (a *Attention) Backward(grad *Tensor) *Tensor {
+	h := a.h
+	B, T, H := h.B, h.T, a.H
+	dh := NewTensor(B, T, H)
+	for b := 0; b < B; b++ {
+		gr := grad.Row(b, 0)
+		attn := a.attn[b]
+		// d/d attn_t = gr . h_t; d/d h_t (direct) = attn_t * gr.
+		dAttn := make([]float64, T)
+		for t := 0; t < T; t++ {
+			hr := h.Row(b, t)
+			dhr := dh.Row(b, t)
+			var g float64
+			for i := 0; i < H; i++ {
+				g += gr[i] * hr[i]
+				dhr[i] += attn[t] * gr[i]
+			}
+			dAttn[t] = g
+		}
+		// Softmax backward: dScore_t = attn_t * (dAttn_t - sum_j attn_j dAttn_j).
+		var dot float64
+		for t := 0; t < T; t++ {
+			dot += attn[t] * dAttn[t]
+		}
+		for t := 0; t < T; t++ {
+			dScore := attn[t] * (dAttn[t] - dot)
+			if dScore == 0 {
+				continue
+			}
+			hr := h.Row(b, t)
+			tw := a.tanhW.Row(b, t)
+			dhr := dh.Row(b, t)
+			for o := 0; o < H; o++ {
+				a.va.Grad[o] += dScore * tw[o]
+				dTanh := dScore * a.va.W[o] * (1 - tw[o]*tw[o])
+				for i := 0; i < H; i++ {
+					a.wa.Grad[i*H+o] += dTanh * hr[i]
+					dhr[i] += dTanh * a.wa.W[i*H+o]
+				}
+			}
+		}
+	}
+	return dh
+}
+
+// Params returns the score-network parameters.
+func (a *Attention) Params() []*Param { return []*Param{a.wa, a.va} }

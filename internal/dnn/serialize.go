@@ -1,0 +1,185 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memdos/internal/sim"
+)
+
+// Model serialization: a trained cascade can be saved after training and
+// reloaded for deployment (the cloud provider trains once, then ships the
+// model to every hypervisor). The format is a versioned JSON document of
+// the architecture, the normalization statistics, and every parameter
+// block keyed by name.
+
+// serialFormatVersion guards against loading incompatible snapshots.
+const serialFormatVersion = 1
+
+// modelSnapshot is the serialized form of one LSTMFCN.
+type modelSnapshot struct {
+	Config LSTMFCNConfig        `json:"config"`
+	Window int                  `json:"window"`
+	Params map[string][]float64 `json:"params"`
+	// BatchNorm running statistics, keyed like params.
+	RunningStats map[string][]float64 `json:"running_stats"`
+}
+
+// cascadeSnapshot is the serialized form of a Cascade.
+type cascadeSnapshot struct {
+	Version int           `json:"version"`
+	NumApps int           `json:"num_apps"`
+	Norm    ChannelNorm   `json:"norm"`
+	App     modelSnapshot `json:"app_model"`
+	Attack  modelSnapshot `json:"attack_model"`
+}
+
+// snapshot captures an LSTMFCN's state. The model must have been run at
+// least once (so the lazily built LSTM exists).
+func (m *LSTMFCN) snapshot() (modelSnapshot, error) {
+	if m.lstm == nil {
+		return modelSnapshot{}, fmt.Errorf("dnn: cannot snapshot a model that has never run (LSTM not built)")
+	}
+	s := modelSnapshot{
+		Config:       m.cfg,
+		Window:       m.lstm.In,
+		Params:       make(map[string][]float64),
+		RunningStats: make(map[string][]float64),
+	}
+	for _, p := range m.Params() {
+		if _, dup := s.Params[p.Name]; dup {
+			return modelSnapshot{}, fmt.Errorf("dnn: duplicate parameter name %q", p.Name)
+		}
+		s.Params[p.Name] = append([]float64(nil), p.W...)
+	}
+	for i, bn := range []*BatchNorm{m.bn1, m.bn2, m.bn3} {
+		key := fmt.Sprintf("bn%d", i)
+		s.RunningStats[key+".mean"] = append([]float64(nil), bn.runMean...)
+		s.RunningStats[key+".var"] = append([]float64(nil), bn.runVar...)
+	}
+	return s, nil
+}
+
+// restore loads a snapshot into a freshly constructed LSTMFCN.
+func (m *LSTMFCN) restore(s modelSnapshot) error {
+	if m.cfg != s.Config {
+		return fmt.Errorf("dnn: config mismatch: built %+v, snapshot %+v", m.cfg, s.Config)
+	}
+	m.ensureLSTM(s.Window)
+	for _, p := range m.Params() {
+		w, ok := s.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("dnn: snapshot missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("dnn: parameter %q has %d weights, snapshot %d", p.Name, len(p.W), len(w))
+		}
+		copy(p.W, w)
+	}
+	for i, bn := range []*BatchNorm{m.bn1, m.bn2, m.bn3} {
+		key := fmt.Sprintf("bn%d", i)
+		mean, ok1 := s.RunningStats[key+".mean"]
+		variance, ok2 := s.RunningStats[key+".var"]
+		if !ok1 || !ok2 || len(mean) != len(bn.runMean) || len(variance) != len(bn.runVar) {
+			return fmt.Errorf("dnn: snapshot missing running stats for %s", key)
+		}
+		copy(bn.runMean, mean)
+		copy(bn.runVar, variance)
+	}
+	return nil
+}
+
+// Save serializes a trained cascade to w.
+func (c *Cascade) Save(w io.Writer) error {
+	app, err := c.App.snapshot()
+	if err != nil {
+		return fmt.Errorf("dnn: app model: %w", err)
+	}
+	atk, err := c.Attack.snapshot()
+	if err != nil {
+		return fmt.Errorf("dnn: attack model: %w", err)
+	}
+	snap := cascadeSnapshot{
+		Version: serialFormatVersion,
+		NumApps: c.NumApps,
+		Norm:    c.Norm,
+		App:     app,
+		Attack:  atk,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// LoadCascade reconstructs a cascade saved with Save. The returned cascade
+// is ready for Classify.
+func LoadCascade(r io.Reader) (*Cascade, error) {
+	var snap cascadeSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dnn: decoding cascade: %w", err)
+	}
+	if snap.Version != serialFormatVersion {
+		return nil, fmt.Errorf("dnn: snapshot version %d, want %d", snap.Version, serialFormatVersion)
+	}
+	if snap.NumApps <= 1 {
+		return nil, fmt.Errorf("dnn: snapshot has %d apps", snap.NumApps)
+	}
+	// Architectures are embedded, so reconstruct with them directly.
+	mk := func(ms modelSnapshot) (*LSTMFCN, error) {
+		m, err := NewLSTMFCN(ms.Config, newRestoreRNG())
+		if err != nil {
+			return nil, err
+		}
+		if err := m.restore(ms); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	app, err := mk(snap.App)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: app model: %w", err)
+	}
+	atk, err := mk(snap.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: attack model: %w", err)
+	}
+	return &Cascade{NumApps: snap.NumApps, Norm: snap.Norm, App: app, Attack: atk}, nil
+}
+
+// newRestoreRNG seeds the throwaway initializer used before weights are
+// overwritten by a snapshot.
+func newRestoreRNG() *sim.RNG { return sim.NewRNG(0xdecade) }
+
+// Clone returns an independent deep copy of a trained cascade. Forward
+// passes cache per-layer state, so a single cascade must not be shared by
+// concurrent detectors; cloning gives each its own. The cascade must have
+// run (or been trained) at least once.
+func (c *Cascade) Clone() (*Cascade, error) {
+	mk := func(m *LSTMFCN) (*LSTMFCN, error) {
+		snap, err := m.snapshot()
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := NewLSTMFCN(snap.Config, newRestoreRNG())
+		if err != nil {
+			return nil, err
+		}
+		if err := fresh.restore(snap); err != nil {
+			return nil, err
+		}
+		return fresh, nil
+	}
+	app, err := mk(c.App)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: cloning app model: %w", err)
+	}
+	atk, err := mk(c.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: cloning attack model: %w", err)
+	}
+	norm := ChannelNorm{
+		Mean: append([]float64(nil), c.Norm.Mean...),
+		Std:  append([]float64(nil), c.Norm.Std...),
+	}
+	return &Cascade{NumApps: c.NumApps, Norm: norm, App: app, Attack: atk}, nil
+}

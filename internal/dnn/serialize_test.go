@@ -1,0 +1,90 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memdos/internal/sim"
+)
+
+func trainedTestCascade(t *testing.T) (*Cascade, []CascadeSample) {
+	t.Helper()
+	rng := sim.NewRNG(60)
+	samples := synthCascadeSamples(rng, 180, 16)
+	c, err := NewCascade(2, tinyArch, sim.NewRNG(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 6
+	if _, _, err := TrainCascade(c, samples, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return c, samples
+}
+
+func TestCascadeSaveLoadRoundTrip(t *testing.T) {
+	c, samples := trainedTestCascade(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCascade(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumApps != c.NumApps {
+		t.Errorf("NumApps = %d, want %d", loaded.NumApps, c.NumApps)
+	}
+	// The reloaded cascade must classify identically to the original.
+	for i, s := range samples {
+		if i >= 40 {
+			break
+		}
+		a1, k1 := c.Classify(s.Window)
+		a2, k2 := loaded.Classify(s.Window)
+		if a1 != a2 || k1 != k2 {
+			t.Fatalf("sample %d: original (%d,%d) vs loaded (%d,%d)", i, a1, k1, a2, k2)
+		}
+	}
+}
+
+func TestSaveUnbuiltModelFails(t *testing.T) {
+	c, err := NewCascade(2, tinyArch, sim.NewRNG(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err == nil {
+		t.Error("saving an untrained (never-run) cascade should fail")
+	}
+}
+
+func TestLoadCascadeErrors(t *testing.T) {
+	if _, err := LoadCascade(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadCascade(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadCascade(strings.NewReader(`{"version": 1, "num_apps": 1}`)); err == nil {
+		t.Error("single-app snapshot accepted")
+	}
+}
+
+func TestSnapshotTamperDetection(t *testing.T) {
+	c, _ := trainedTestCascade(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rename a parameter key: restore must fail, not silently load.
+	tampered := strings.Replace(buf.String(), `"conv1.w"`, `"xonv1.w"`, 1)
+	if tampered == buf.String() {
+		t.Fatal("expected conv1.w key in snapshot")
+	}
+	if _, err := LoadCascade(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered snapshot accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memdos/internal/attack"
+	"memdos/internal/core"
+	"memdos/internal/vmm"
+	"memdos/internal/workload"
+)
+
+// MigrationResult quantifies the paper's Section II argument that VM
+// migration alone cannot defeat memory DoS attacks: the malicious tenant
+// simply re-co-locates with the migrated victim, so the attack resumes
+// after every migration.
+type MigrationResult struct {
+	// Migrations is how many times the victim was migrated in response
+	// to an SDS alarm.
+	Migrations int
+	// AttackedFraction is the fraction of the run the victim spent under
+	// an active attack *with* the detect-and-migrate response.
+	AttackedFraction float64
+	// AttackedFractionNoResponse is the same fraction with no response
+	// at all (the attack simply runs).
+	AttackedFractionNoResponse float64
+	// MeanSpeedWithResponse / MeanSpeedNoResponse are the victim's mean
+	// execution speeds (1.0 = unimpeded) under each policy.
+	MeanSpeedWithResponse, MeanSpeedNoResponse float64
+}
+
+// MigrationStudy runs a continuous bus-locking attacker against the app
+// for dur seconds under a detect-and-migrate policy: every SDS alarm
+// migrates the victim to a fresh host, which buys relocationDelay seconds
+// until the attacker re-co-locates (modelled by suppressing the attack and
+// resetting the detector, whose profile remains valid on the new host).
+func MigrationStudy(app string, relocationDelay, dur float64, seed uint64) (*MigrationResult, error) {
+	if relocationDelay <= 0 || dur <= relocationDelay {
+		return nil, fmt.Errorf("experiments: invalid migration study times (%v, %v)", relocationDelay, dur)
+	}
+	params := core.DefaultParams()
+	prof, err := profileFor(app, params)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(respond bool) (migrations int, attackedFrac, meanSpeed float64, err error) {
+		cfg := vmm.DefaultConfig()
+		cfg.Seed = seed
+		srv, err := vmm.NewServer(cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		spec, err := workload.ByAbbrev(app)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		victim, err := srv.AddApp("victim", spec.Service())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// The attack begins once the attacker first co-locates, 30 s in.
+		sched, err := attack.NewSuppressor(attack.Window{Start: 30, End: dur})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		atk, err := attack.NewBusLock(sched, BusLockDuty)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := srv.AddAttacker("attacker", atk); err != nil {
+			return 0, 0, 0, err
+		}
+
+		det, err := core.NewSDS(prof, params)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var attackedSteps, totalSteps int
+		var speedSum float64
+		srv.RunUntil(dur, func(step vmm.StepResult) {
+			now := step.Time
+			totalSteps++
+			speedSum += victim.LastSpeed()
+			if sched.Active(now - srv.TPCM()) {
+				attackedSteps++
+			}
+			s, ok := step.Samples[victim.ID()]
+			if !ok {
+				return
+			}
+			for _, d := range det.Push(s) {
+				if !respond || !d.Alarm {
+					continue
+				}
+				// Migrate: the attacker loses co-residence and needs
+				// relocationDelay to find the victim's new host. The
+				// detector restarts cleanly on the new host.
+				if now >= sched.SuppressedUntil() {
+					migrations++
+					sched.Suppress(now + relocationDelay)
+					det, err = core.NewSDS(prof, params)
+					if err != nil {
+						return
+					}
+				}
+			}
+		})
+		return migrations, float64(attackedSteps) / float64(totalSteps), speedSum / float64(totalSteps), nil
+	}
+
+	res := &MigrationResult{}
+	if res.Migrations, res.AttackedFraction, res.MeanSpeedWithResponse, err = run(true); err != nil {
+		return nil, err
+	}
+	if _, res.AttackedFractionNoResponse, res.MeanSpeedNoResponse, err = run(false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"memdos/internal/attack"
+	"memdos/internal/core"
+	"memdos/internal/dnn"
+	"memdos/internal/sim"
+	"memdos/internal/vmm"
+	"memdos/internal/workload"
+)
+
+// TrainingSpec controls DNN training-data generation (Section V-B: the
+// paper collects windows from every application with and without attack;
+// its sample count is 20137 and it trains 3000 epochs on GPU — see
+// DESIGN.md for the CPU-scale substitution).
+type TrainingSpec struct {
+	// Apps to include (Table II abbreviations).
+	Apps []string
+	// RunSeconds of counter stream per (app, attack-state) pair.
+	RunSeconds float64
+	// Window and Stride slice the stream into labelled windows.
+	Window, Stride int
+	// Seed drives the generation runs.
+	Seed uint64
+	// Arch picks the per-stage architecture.
+	Arch func(channels, classes int) LSTMFCNConfigAlias
+	// Train is the optimizer configuration.
+	Train dnn.TrainConfig
+}
+
+// LSTMFCNConfigAlias keeps the dnn dependency out of most call sites.
+type LSTMFCNConfigAlias = dnn.LSTMFCNConfig
+
+// DefaultTrainingSpec returns the configuration used by the shared cascade:
+// all ten applications, compact architecture, CPU-scale epochs.
+func DefaultTrainingSpec() TrainingSpec {
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Epochs = 12
+	cfg.BatchSize = 32
+	return TrainingSpec{
+		Apps:       workload.Abbrevs(),
+		RunSeconds: 120,
+		Window:     200,
+		Stride:     200,
+		Seed:       1,
+		Arch:       dnn.CompactLSTMFCNConfig,
+		Train:      cfg,
+	}
+}
+
+// attackLabel maps an AttackMode to the cascade's class label.
+func attackLabel(mode AttackMode) int {
+	switch mode {
+	case BusLock:
+		return dnn.ClassBusLock
+	case Cleansing:
+		return dnn.ClassCleansing
+	default:
+		return dnn.ClassNoAttack
+	}
+}
+
+// collectWindows runs one (app, mode) pair with the attack active for the
+// whole run and slices the victim's counter stream into windows.
+func collectWindows(app string, mode AttackMode, dur float64, seed uint64, w, stride int) ([][][]float64, error) {
+	cfg := vmm.DefaultConfig()
+	cfg.Seed = seed
+	srv, err := vmm.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.ByAbbrev(app)
+	if err != nil {
+		return nil, err
+	}
+	victim, err := srv.AddApp("victim", spec.Service())
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case BusLock:
+		atk, err := attack.NewBusLock(attack.Always{}, BusLockDuty)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := srv.AddAttacker("attacker", atk); err != nil {
+			return nil, err
+		}
+	case Cleansing:
+		atk, err := attack.NewLLCCleansing(attack.Always{}, CleansingPressure, CleansingRate)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := srv.AddAttacker("attacker", atk); err != nil {
+			return nil, err
+		}
+	}
+	srv.RunUntil(dur, nil)
+	c := srv.Counter(victim.ID())
+	acc := c.AccessSeries().Values
+	miss := c.MissSeries().Values
+
+	var out [][][]float64
+	for lo := 0; lo+w <= len(acc); lo += stride {
+		win := make([][]float64, w)
+		for t := 0; t < w; t++ {
+			win[t] = []float64{acc[lo+t], miss[lo+t]}
+		}
+		out = append(out, win)
+	}
+	return out, nil
+}
+
+// GenerateCascadeSamples produces the labelled training corpus for the
+// cascade across all apps and attack states.
+func GenerateCascadeSamples(spec TrainingSpec) ([]dnn.CascadeSample, error) {
+	if len(spec.Apps) < 2 {
+		return nil, fmt.Errorf("experiments: training needs at least 2 apps")
+	}
+	var samples []dnn.CascadeSample
+	for appIdx, app := range spec.Apps {
+		for _, mode := range []AttackMode{NoAttack, BusLock, Cleansing} {
+			wins, err := collectWindows(app, mode, spec.RunSeconds,
+				spec.Seed+uint64(appIdx)*31+uint64(mode), spec.Window, spec.Stride)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range wins {
+				samples = append(samples, dnn.CascadeSample{
+					Window:      w,
+					AppLabel:    appIdx,
+					AttackLabel: attackLabel(mode),
+				})
+			}
+		}
+	}
+	return samples, nil
+}
+
+// TrainCascade generates the corpus and trains a cascade per the spec.
+func TrainCascade(spec TrainingSpec) (*dnn.Cascade, error) {
+	samples, err := GenerateCascadeSamples(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := simRNG(spec.Seed + 7)
+	c, err := dnn.NewCascade(len(spec.Apps), spec.Arch, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := dnn.TrainCascade(c, samples, spec.Train); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+var (
+	sharedOnce    sync.Once
+	sharedCascade *dnn.Cascade
+	sharedErr     error
+)
+
+// SharedCascade trains (once per process) the cascade used by every DNN
+// experiment. Training is deterministic, so all callers observe the same
+// model.
+func SharedCascade() (*dnn.Cascade, error) {
+	sharedOnce.Do(func() {
+		sharedCascade, sharedErr = TrainCascade(DefaultTrainingSpec())
+	})
+	return sharedCascade, sharedErr
+}
+
+// AttackClassOf exposes the mode -> cascade-class mapping for callers
+// scoring classifications directly.
+func AttackClassOf(mode AttackMode) int { return attackLabel(mode) }
+
+// HeldOutWindows generates fresh windows for the (app, mode) pair from a
+// seed disjoint from the training runs, for held-out evaluation.
+func HeldOutWindows(app string, mode AttackMode, spec TrainingSpec) ([][][]float64, error) {
+	return collectWindows(app, mode, spec.RunSeconds/2,
+		spec.Seed+0x5eed0000+uint64(mode), spec.Window, spec.Stride)
+}
+
+// DNNFactory builds the DNN detector around the shared cascade. Each
+// detector gets its own clone: LSTM-FCN forward passes cache layer state,
+// so concurrent runs must not share one model instance.
+func DNNFactory(env *Env) (core.Detector, error) {
+	c, err := SharedCascade()
+	if err != nil {
+		return nil, err
+	}
+	own, err := c.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDNNDetector(own, env.Params)
+}
+
+// simRNG is a tiny indirection so training.go does not import sim at every
+// call site.
+func simRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }

@@ -1,0 +1,208 @@
+// Package metrics computes the evaluation measures of the paper: recall,
+// specificity, detection delay, and normalized execution time (performance
+// overhead).
+//
+// Ground truth and detector output are both represented as boolean
+// time-lines sampled at the detector's decision instants; recall and
+// specificity are computed instant-by-instant (Section VI-B of the paper),
+// detection delay as the gap between an attack's start and the first alarm
+// inside that attack's window.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add folds one (truth, predicted) decision into the matrix.
+func (c *Confusion) Add(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		c.TP++
+	case truth && !predicted:
+		c.FN++
+	case !truth && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Recall returns TP/(TP+FN): the ability to detect an attack when present.
+// It returns NaN when no positive instants exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Specificity returns TN/(TN+FP): the ability to infer "no attack" when the
+// attack is absent. It returns NaN when no negative instants exist.
+func (c Confusion) Specificity() float64 {
+	if c.TN+c.FP == 0 {
+		return math.NaN()
+	}
+	return float64(c.TN) / float64(c.TN+c.FP)
+}
+
+// Precision returns TP/(TP+FP), NaN when the detector never alarmed.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// String formats the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// Interval is a half-open time span [Start, End).
+type Interval struct {
+	Start, End float64
+}
+
+// Contains reports whether t falls inside the interval.
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// InAny reports whether t falls inside any of the intervals.
+func InAny(ivs []Interval, t float64) bool {
+	for _, iv := range ivs {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Decision is one detector output: at Time the detector believed
+// Alarm (attack present or not).
+type Decision struct {
+	Time  float64
+	Alarm bool
+}
+
+// Evaluate scores a decision time-line against ground-truth attack
+// intervals. Decisions within grace seconds after an attack starts or ends
+// are skipped: the paper's detectors are allowed their inherent reaction
+// time (H_C windows etc.) without it counting as misclassification, and
+// symmetric grace after an attack ends avoids punishing alarm decay.
+func Evaluate(decisions []Decision, truth []Interval, grace float64) Confusion {
+	var c Confusion
+	for _, d := range decisions {
+		if inGrace(truth, d.Time, grace) {
+			continue
+		}
+		c.Add(InAny(truth, d.Time), d.Alarm)
+	}
+	return c
+}
+
+// inGrace reports whether t is within grace seconds after any attack
+// boundary (start or end).
+func inGrace(truth []Interval, t, grace float64) bool {
+	if grace <= 0 {
+		return false
+	}
+	for _, iv := range truth {
+		if t >= iv.Start && t < iv.Start+grace {
+			return true
+		}
+		if t >= iv.End && t < iv.End+grace {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectionDelay returns, for each ground-truth attack interval, the delay
+// from its start to the first alarm decision inside it; attacks never
+// detected yield NaN entries.
+func DetectionDelay(decisions []Decision, truth []Interval) []float64 {
+	out := make([]float64, len(truth))
+	for i, iv := range truth {
+		out[i] = math.NaN()
+		for _, d := range decisions {
+			if d.Alarm && iv.Contains(d.Time) {
+				out[i] = d.Time - iv.Start
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MeanDelay averages the finite delays; NaN if none are finite.
+func MeanDelay(delays []float64) float64 {
+	var sum float64
+	n := 0
+	for _, d := range delays {
+		if !math.IsNaN(d) {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// NormalizedExecTime returns withDetector/baseline, the paper's
+// performance-overhead metric (Fig. 14); 1.0 means no overhead.
+func NormalizedExecTime(baseline, withDetector float64) (float64, error) {
+	if baseline <= 0 || withDetector <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive execution times %v/%v", baseline, withDetector)
+	}
+	return withDetector / baseline, nil
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear
+// interpolation; it panics on empty input or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: bad quantile args (n=%d, q=%v)", len(xs), q))
+	}
+	sorted := append([]float64(nil), xs...)
+	insertionSort(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// insertionSort keeps the package free of a sort import for tiny inputs;
+// quantiles here are over at most tens of runs.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Summary aggregates a batch of per-run accuracy results, as plotted in the
+// paper's box-style figures (median with 10th/90th percentiles).
+type Summary struct {
+	Median, P10, P90 float64
+}
+
+// Summarize computes the Summary of xs; it panics on empty input.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Median: Quantile(xs, 0.5),
+		P10:    Quantile(xs, 0.1),
+		P90:    Quantile(xs, 0.9),
+	}
+}

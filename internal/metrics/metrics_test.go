@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("confusion = %v", c)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.Specificity(); got != 0.5 {
+		t.Errorf("specificity = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfusionNaNWhenUndefined(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.Recall()) || !math.IsNaN(c.Specificity()) || !math.IsNaN(c.Precision()) {
+		t.Error("empty confusion should yield NaN rates")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 10, End: 20}
+	if iv.Contains(9.99) || !iv.Contains(10) || !iv.Contains(19.99) || iv.Contains(20) {
+		t.Error("interval bounds wrong")
+	}
+	if InAny([]Interval{{0, 5}, {10, 15}}, 12) != true {
+		t.Error("InAny missed")
+	}
+	if InAny(nil, 12) {
+		t.Error("InAny on nil")
+	}
+}
+
+func decisionsEvery(step, until float64, alarmFrom, alarmTo float64) []Decision {
+	var out []Decision
+	for ts := step; ts <= until; ts += step {
+		out = append(out, Decision{Time: ts, Alarm: ts >= alarmFrom && ts < alarmTo})
+	}
+	return out
+}
+
+func TestEvaluatePerfectDetector(t *testing.T) {
+	truth := []Interval{{Start: 50, End: 100}}
+	dec := decisionsEvery(1, 100, 50, 100)
+	c := Evaluate(dec, truth, 0)
+	if c.FP != 0 || c.FN != 0 {
+		t.Errorf("perfect detector scored %v", c)
+	}
+	if c.Recall() != 1 || c.Specificity() != 1 {
+		t.Errorf("rates = %v / %v", c.Recall(), c.Specificity())
+	}
+}
+
+func TestEvaluateGraceSkipsReactionTime(t *testing.T) {
+	truth := []Interval{{Start: 50, End: 100}}
+	// Detector alarms 10s late — with a 15s grace that is not an FN.
+	dec := decisionsEvery(1, 100, 60, 100)
+	noGrace := Evaluate(dec, truth, 0)
+	if noGrace.FN == 0 {
+		t.Error("late detector should have FNs without grace")
+	}
+	withGrace := Evaluate(dec, truth, 15)
+	if withGrace.FN != 0 {
+		t.Errorf("grace did not absorb reaction time: %v", withGrace)
+	}
+	// Grace also applies after the attack ends.
+	decay := decisionsEvery(1, 120, 50, 105)
+	c := Evaluate(decay, []Interval{{Start: 50, End: 100}}, 10)
+	if c.FP != 0 {
+		t.Errorf("post-attack alarm decay counted as FP: %v", c)
+	}
+}
+
+func TestDetectionDelay(t *testing.T) {
+	truth := []Interval{{Start: 50, End: 100}, {Start: 200, End: 250}}
+	dec := []Decision{
+		{Time: 40, Alarm: false},
+		{Time: 55, Alarm: false},
+		{Time: 70, Alarm: true}, // first alarm in attack 1: delay 20
+		{Time: 150, Alarm: false},
+		// attack 2 never detected
+		{Time: 220, Alarm: false},
+	}
+	delays := DetectionDelay(dec, truth)
+	if len(delays) != 2 {
+		t.Fatalf("%d delays", len(delays))
+	}
+	if delays[0] != 20 {
+		t.Errorf("delay[0] = %v, want 20", delays[0])
+	}
+	if !math.IsNaN(delays[1]) {
+		t.Errorf("delay[1] = %v, want NaN", delays[1])
+	}
+	if got := MeanDelay(delays); got != 20 {
+		t.Errorf("mean delay = %v", got)
+	}
+	if !math.IsNaN(MeanDelay([]float64{math.NaN()})) {
+		t.Error("all-NaN mean should be NaN")
+	}
+}
+
+func TestNormalizedExecTime(t *testing.T) {
+	got, err := NormalizedExecTime(100, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.03) > 1e-12 {
+		t.Errorf("normalized = %v", got)
+	}
+	if _, err := NormalizedExecTime(0, 1); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := NormalizedExecTime(1, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, 0.5); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Errorf("max = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 11)
+	for i := range xs {
+		xs[i] = float64(i) // 0..10
+	}
+	s := Summarize(xs)
+	if s.Median != 5 || s.P10 != 1 || s.P90 != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuantileOrderedProperty(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, n)
+		x := float64(seed % 100)
+		for i := range xs {
+			x = math.Mod(x*37+11, 1000)
+			xs[i] = x
+		}
+		return Quantile(xs, 0.1) <= Quantile(xs, 0.5) && Quantile(xs, 0.5) <= Quantile(xs, 0.9)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateConsistencyProperty(t *testing.T) {
+	// Property: total scored decisions + skipped = len(decisions).
+	check := func(alarmSeed uint8) bool {
+		truth := []Interval{{Start: 30, End: 60}}
+		dec := decisionsEvery(1, 100, float64(alarmSeed%80), 100)
+		c := Evaluate(dec, truth, 5)
+		scored := c.TP + c.FP + c.TN + c.FN
+		return scored <= len(dec) && scored >= len(dec)-20 // 2 boundaries x 5s grace x 1/s + margin
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

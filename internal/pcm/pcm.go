@@ -1,0 +1,105 @@
+// Package pcm emulates the Processor Counter Monitor tool the paper runs on
+// the hypervisor: it aggregates each VM's LLC accesses and misses into one
+// (AccessNum, MissNum) sample every T_PCM seconds (0.01 s in the paper).
+// Every detection scheme in this repository consumes these samples and
+// nothing else, mirroring the paper's threat model in which the detector
+// sees only hardware counters.
+package pcm
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/trace"
+)
+
+// Sample is one PCM observation.
+type Sample struct {
+	// Time is the simulated timestamp at the *end* of the sampling
+	// interval.
+	Time float64
+	// AccessNum is the number of LLC accesses during the interval.
+	AccessNum float64
+	// MissNum is the number of LLC misses during the interval.
+	MissNum float64
+}
+
+// Counter aggregates one VM's per-tick access/miss counts into PCM samples.
+type Counter struct {
+	tpcm         float64
+	ticksPer     int
+	tickCount    int
+	accessAccum  float64
+	missAccum    float64
+	accessSeries *trace.Series
+	missSeries   *trace.Series
+}
+
+// NewCounter returns a counter sampling every tpcm seconds for a simulation
+// advancing in steps of dt seconds. tpcm must be a (near-)integer multiple
+// of dt.
+func NewCounter(name string, tpcm, dt float64) (*Counter, error) {
+	if tpcm <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("pcm: non-positive tpcm %v or dt %v", tpcm, dt)
+	}
+	ratio := tpcm / dt
+	ticks := int(math.Round(ratio))
+	if ticks < 1 || math.Abs(ratio-float64(ticks)) > 1e-9 {
+		return nil, fmt.Errorf("pcm: tpcm %v is not an integer multiple of dt %v", tpcm, dt)
+	}
+	return &Counter{
+		tpcm:         tpcm,
+		ticksPer:     ticks,
+		accessSeries: trace.NewSeries(name+".access", tpcm, tpcm),
+		missSeries:   trace.NewSeries(name+".miss", tpcm, tpcm),
+	}, nil
+}
+
+// MustNewCounter is NewCounter but panics on invalid arguments.
+func MustNewCounter(name string, tpcm, dt float64) *Counter {
+	c, err := NewCounter(name, tpcm, dt)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TPCM returns the sampling interval.
+func (c *Counter) TPCM() float64 { return c.tpcm }
+
+// Observe records one simulation tick's worth of accesses and misses. When
+// the tick completes a sampling interval, Observe returns the finished
+// sample and true.
+func (c *Counter) Observe(accesses, misses float64) (Sample, bool) {
+	if accesses < 0 || misses < 0 {
+		panic(fmt.Sprintf("pcm: negative counts %v/%v", accesses, misses))
+	}
+	c.accessAccum += accesses
+	c.missAccum += misses
+	c.tickCount++
+	if c.tickCount < c.ticksPer {
+		return Sample{}, false
+	}
+	// The series starts at tpcm with interval tpcm, so End() before the
+	// append is exactly this sample's end-of-interval timestamp.
+	s := Sample{
+		Time:      c.accessSeries.End(),
+		AccessNum: c.accessAccum,
+		MissNum:   c.missAccum,
+	}
+	c.accessSeries.Append(s.AccessNum)
+	c.missSeries.Append(s.MissNum)
+	c.accessAccum, c.missAccum, c.tickCount = 0, 0, 0
+	return s, true
+}
+
+// AccessSeries returns the full AccessNum series recorded so far. The
+// returned series is live; callers must not mutate it.
+func (c *Counter) AccessSeries() *trace.Series { return c.accessSeries }
+
+// MissSeries returns the full MissNum series recorded so far. The returned
+// series is live; callers must not mutate it.
+func (c *Counter) MissSeries() *trace.Series { return c.missSeries }
+
+// Samples returns the number of completed samples.
+func (c *Counter) Samples() int { return c.accessSeries.Len() }

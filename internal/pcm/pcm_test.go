@@ -1,0 +1,118 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterValidation(t *testing.T) {
+	if _, err := NewCounter("x", 0, 0.01); err == nil {
+		t.Error("tpcm=0 accepted")
+	}
+	if _, err := NewCounter("x", 0.01, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := NewCounter("x", 0.01, 0.003); err == nil {
+		t.Error("non-integer tick ratio accepted")
+	}
+	if _, err := NewCounter("x", 0.01, 0.01); err != nil {
+		t.Errorf("1:1 ratio rejected: %v", err)
+	}
+}
+
+func TestMustNewCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNewCounter("x", 0, 0)
+}
+
+func TestOneTickPerSample(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.01)
+	s, ok := c.Observe(100, 10)
+	if !ok {
+		t.Fatal("sample not emitted at tick boundary")
+	}
+	if s.AccessNum != 100 || s.MissNum != 10 {
+		t.Errorf("sample = %+v", s)
+	}
+	if math.Abs(s.Time-0.01) > 1e-12 {
+		t.Errorf("first sample time = %v, want 0.01", s.Time)
+	}
+}
+
+func TestAggregationAcrossTicks(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.002) // 5 ticks per sample
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Observe(10, 1); ok {
+			t.Fatal("sample emitted early")
+		}
+	}
+	s, ok := c.Observe(10, 1)
+	if !ok {
+		t.Fatal("sample not emitted after 5 ticks")
+	}
+	if s.AccessNum != 50 || s.MissNum != 5 {
+		t.Errorf("aggregated sample = %+v", s)
+	}
+}
+
+func TestAccumulatorsResetBetweenSamples(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.01)
+	c.Observe(100, 10)
+	s, _ := c.Observe(7, 3)
+	if s.AccessNum != 7 || s.MissNum != 3 {
+		t.Errorf("second sample = %+v, accumulators leaked", s)
+	}
+}
+
+func TestSampleTimestamps(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.01)
+	for i := 1; i <= 10; i++ {
+		s, ok := c.Observe(1, 0)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if want := float64(i) * 0.01; math.Abs(s.Time-want) > 1e-9 {
+			t.Errorf("sample %d time = %v, want %v", i, s.Time, want)
+		}
+	}
+}
+
+func TestSeriesRecorded(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.01)
+	for i := 0; i < 20; i++ {
+		c.Observe(float64(i), float64(i)/2)
+	}
+	if c.Samples() != 20 {
+		t.Fatalf("samples = %d", c.Samples())
+	}
+	acc, miss := c.AccessSeries(), c.MissSeries()
+	if acc.Name != "vm.access" || miss.Name != "vm.miss" {
+		t.Errorf("series names %q %q", acc.Name, miss.Name)
+	}
+	if acc.Values[5] != 5 || miss.Values[5] != 2.5 {
+		t.Errorf("series values wrong: %v %v", acc.Values[5], miss.Values[5])
+	}
+	if acc.Interval != 0.01 {
+		t.Errorf("interval = %v", acc.Interval)
+	}
+}
+
+func TestNegativeCountsPanic(t *testing.T) {
+	c := MustNewCounter("vm", 0.01, 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative counts")
+		}
+	}()
+	c.Observe(-1, 0)
+}
+
+func TestTPCM(t *testing.T) {
+	if got := MustNewCounter("vm", 0.05, 0.01).TPCM(); got != 0.05 {
+		t.Errorf("TPCM = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Seconds is the unit of simulated time throughout the repository.
+type Seconds = float64
+
+// Clock is a fixed-step simulated clock. Substrates advance it with Tick;
+// the step size is fixed at construction so every component observes the
+// same discretization.
+type Clock struct {
+	step Seconds
+	tick uint64
+}
+
+// NewClock returns a clock with the given step size in simulated seconds.
+// It panics if step is not positive.
+func NewClock(step Seconds) *Clock {
+	if step <= 0 {
+		panic(fmt.Sprintf("sim: non-positive clock step %v", step))
+	}
+	return &Clock{step: step}
+}
+
+// Step returns the step size in simulated seconds.
+func (c *Clock) Step() Seconds { return c.step }
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() Seconds { return float64(c.tick) * c.step }
+
+// Ticks returns the number of elapsed steps.
+func (c *Clock) Ticks() uint64 { return c.tick }
+
+// Tick advances the clock by one step and returns the new time.
+func (c *Clock) Tick() Seconds {
+	c.tick++
+	return c.Now()
+}
+
+// Duration converts a simulated-seconds span to a time.Duration, useful for
+// human-readable reporting only (simulated time never sleeps).
+func Duration(s Seconds) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Stepper is implemented by every component that evolves with the clock.
+// Step is called exactly once per clock tick with the tick's start time and
+// the step duration.
+type Stepper interface {
+	Step(now Seconds, dt Seconds)
+}
+
+// Engine drives a set of Steppers against one clock in registration order.
+// Registration order is significant: producers (workloads, attackers)
+// should be registered before consumers (bus, cache, monitors).
+type Engine struct {
+	clock    *Clock
+	steppers []Stepper
+}
+
+// NewEngine returns an engine around the given clock.
+func NewEngine(clock *Clock) *Engine {
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Register appends s to the step order.
+func (e *Engine) Register(s Stepper) {
+	e.steppers = append(e.steppers, s)
+}
+
+// Run advances the simulation until the clock reaches at least until
+// simulated seconds, stepping every registered component each tick.
+func (e *Engine) Run(until Seconds) {
+	for e.clock.Now() < until {
+		now := e.clock.Now()
+		dt := e.clock.Step()
+		for _, s := range e.steppers {
+			s.Step(now, dt)
+		}
+		e.clock.Tick()
+	}
+}
+
+// RunSteps advances the simulation by exactly n ticks.
+func (e *Engine) RunSteps(n int) {
+	for i := 0; i < n; i++ {
+		now := e.clock.Now()
+		dt := e.clock.Step()
+		for _, s := range e.steppers {
+			s.Step(now, dt)
+		}
+		e.clock.Tick()
+	}
+}

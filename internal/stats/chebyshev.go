@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChebyshevFalseAlarmBound returns the Chebyshev upper bound on the
+// probability that H consecutive independent samples all fall more than
+// k standard deviations from the mean: (1/k^2)^H, per Eq. (4) of the paper.
+// The bound is clamped to 1.
+func ChebyshevFalseAlarmBound(k float64, h int) float64 {
+	if k <= 0 || h <= 0 {
+		panic(fmt.Sprintf("stats: invalid Chebyshev parameters k=%v h=%d", k, h))
+	}
+	p := math.Pow(1/(k*k), float64(h))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ChebyshevH returns the smallest consecutive-violation threshold H such
+// that the false-alarm bound (1/k^2)^H is at most 1-confidence. For
+// example, k=1.125 and confidence 0.999 yields H=30 (within rounding of the
+// paper's choice). k must exceed 1 or no finite H exists, in which case
+// ChebyshevH returns an error.
+func ChebyshevH(k, confidence float64) (int, error) {
+	if k <= 1 {
+		return 0, fmt.Errorf("stats: Chebyshev boundary factor k=%v must exceed 1", k)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	target := 1 - confidence
+	// (1/k^2)^H <= target  =>  H >= log(target)/log(1/k^2).
+	h := math.Log(target) / math.Log(1/(k*k))
+	n := int(math.Ceil(h))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// ChebyshevK returns the boundary factor k needed to reach the requested
+// confidence with a fixed consecutive-violation threshold H.
+func ChebyshevK(h int, confidence float64) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("stats: non-positive H %d", h)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	// (1/k^2)^H = 1-confidence  =>  k = (1-confidence)^(-1/(2H)).
+	return math.Pow(1-confidence, -1/(2*float64(h))), nil
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"memdos/internal/sim"
+)
+
+// FuzzKSTest hammers the KS test with arbitrary sample shapes: it must
+// never panic, and its outputs must stay within their mathematical ranges.
+func FuzzKSTest(f *testing.F) {
+	f.Add(uint64(1), 10, 20, 1.5, 0.0)
+	f.Add(uint64(2), 100, 100, 0.0, 5.0)
+	f.Add(uint64(3), 1, 1, -3.0, 3.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n1, n2 int, shift, scale float64) {
+		if n1 <= 0 || n2 <= 0 || n1 > 500 || n2 > 500 {
+			t.Skip()
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			t.Skip()
+		}
+		r := newFuzzRNG(seed)
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for i := range a {
+			a[i] = r.Normal(0, 1)
+		}
+		for i := range b {
+			b[i] = r.Normal(shift, 1+math.Abs(scale))
+		}
+		res, err := KSTest(a, b, 0.05)
+		if err != nil {
+			t.Fatalf("KSTest error on valid input: %v", err)
+		}
+		if res.D < 0 || res.D > 1 {
+			t.Fatalf("D = %v outside [0,1]", res.D)
+		}
+		if res.PValue < 0 || res.PValue > 1 {
+			t.Fatalf("p = %v outside [0,1]", res.PValue)
+		}
+		// Symmetry must hold for any input.
+		rev, err := KSTest(b, a, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rev.D-res.D) > 1e-9 {
+			t.Fatalf("KS not symmetric: %v vs %v", res.D, rev.D)
+		}
+	})
+}
+
+// FuzzMA checks the incremental moving average against the direct
+// computation for arbitrary window/step shapes.
+func FuzzMA(f *testing.F) {
+	f.Add(uint64(1), 10, 3, 50)
+	f.Add(uint64(2), 1, 1, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, w, dw, n int) {
+		if w <= 0 || dw <= 0 || n < 0 || w > 200 || dw > 200 || n > 2000 {
+			t.Skip()
+		}
+		r := newFuzzRNG(seed)
+		raw := make([]float64, n)
+		for i := range raw {
+			raw[i] = r.Normal(0, 100)
+		}
+		got := MA(raw, w, dw)
+		for i, v := range got {
+			var sum float64
+			for _, x := range raw[i*dw : i*dw+w] {
+				sum += x
+			}
+			if math.Abs(v-sum/float64(w)) > 1e-6 {
+				t.Fatalf("MA[%d] = %v, direct %v", i, v, sum/float64(w))
+			}
+		}
+	})
+}
+
+// newFuzzRNG keeps the fuzz file self-contained.
+func newFuzzRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes one or more series sharing the same timing grid as a CSV
+// table with a leading "time" column. Series of unequal length are padded
+// with empty cells.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: WriteCSV requires at least one series")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time")
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, s.Name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < maxLen; i++ {
+		row[0] = strconv.FormatFloat(series[0].TimeAt(i), 'g', -1, 64)
+		for j, s := range series {
+			if i < s.Len() {
+				row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+			} else {
+				row[j+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV and reconstructs the series.
+// The time column must be uniformly spaced; the reconstructed interval is
+// inferred from the first two rows (or 1.0 for single-row tables).
+func ReadCSV(r io.Reader) ([]*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "time" {
+		return nil, fmt.Errorf("trace: malformed CSV header %q", header)
+	}
+	start, interval := 0.0, 1.0
+	if len(records) > 1 {
+		start, err = strconv.ParseFloat(records[1][0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time cell: %w", err)
+		}
+	}
+	if len(records) > 2 {
+		t1, err := strconv.ParseFloat(records[2][0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time cell: %w", err)
+		}
+		interval = t1 - start
+	}
+	out := make([]*Series, len(header)-1)
+	for j := range out {
+		out[j] = NewSeries(header[j+1], start, interval)
+	}
+	for _, rec := range records[1:] {
+		for j := range out {
+			cell := rec[j+1]
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad value cell %q: %w", cell, err)
+			}
+			out[j].Append(v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader: it must never
+// panic, and everything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time,x\n0,1\n0.5,2\n")
+	f.Add("time,a,b\n0,1,\n1,2,3\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		series, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(series) == 0 {
+			t.Fatal("accepted input produced zero series")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, series...); err != nil {
+			t.Fatalf("accepted series failed to re-encode: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded CSV rejected: %v", err)
+		}
+		if len(again) != len(series) {
+			t.Fatalf("round trip changed series count: %d -> %d", len(series), len(again))
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package trace
+
+import "strings"
+
+// sparkTicks are the eight block-element levels of a terminal sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a fixed-width terminal sparkline by
+// bucketing samples into width columns (mean per bucket) and mapping each
+// bucket onto eight block levels between the series min and max. A flat or
+// empty series renders as mid-level blocks.
+func Sparkline(s *Series, width int) string {
+	if width <= 0 || s == nil || s.Len() == 0 {
+		return ""
+	}
+	if width > s.Len() {
+		width = s.Len()
+	}
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, v := range s.Values {
+		b := i * width / s.Len()
+		buckets[b] += v
+		counts[b]++
+	}
+	lo, hi := buckets[0]/float64(counts[0]), buckets[0]/float64(counts[0])
+	for b := range buckets {
+		buckets[b] /= float64(counts[b])
+		if buckets[b] < lo {
+			lo = buckets[b]
+		}
+		if buckets[b] > hi {
+			hi = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	span := hi - lo
+	for _, v := range buckets {
+		idx := len(sparkTicks) / 2
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkTicks)-1))
+		}
+		sb.WriteRune(sparkTicks[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,286 @@
+// Package vmm models the virtualized server of the paper's testbed: a KVM
+// hypervisor hosting a protected (victim) VM, an attack VM, and several
+// benign utility VMs, all sharing the memory bus and LLC.
+//
+// The server advances in fixed steps of T_PCM seconds. Each step it:
+//
+//  1. collects the attack VM's demands (atomic bus-lock time and/or LLC
+//     cleansing pressure),
+//  2. collects every application VM's intrinsic memory demand, attenuated
+//     by the stall caused by cleansing-inflated misses,
+//  3. arbitrates the shared bus (bus locking throttles everyone else),
+//  4. advances each application at the resulting effective speed — so
+//     attacks slow victims down, stretch periodic patterns, and lengthen
+//     completion times, and
+//  5. feeds each VM's delivered accesses and misses to its PCM counter.
+//
+// The hypervisor also exposes the two mechanisms detectors need: execution
+// throttling (used by the KStest baseline to collect clean reference
+// samples — pausing every VM except the protected one) and a hypervisor CPU
+// load knob that models the detector's own processing cost, which steals a
+// fraction of every VM's progress.
+package vmm
+
+import (
+	"fmt"
+
+	"memdos/internal/attack"
+	"memdos/internal/bus"
+	"memdos/internal/pcm"
+	"memdos/internal/sim"
+	"memdos/internal/workload"
+)
+
+// VMID identifies a VM on one server.
+type VMID int
+
+// Config configures a Server.
+type Config struct {
+	// TPCM is the PCM sampling interval and simulation step (seconds).
+	TPCM float64
+	// MissPenalty converts excess miss ratio into progress stall:
+	// speed = 1 / (1 + MissPenalty * (missRatio - intrinsicMissRatio)).
+	MissPenalty float64
+	// BusCapacity caps total bus throughput in accesses per second
+	// (0 = uncapped).
+	BusCapacity float64
+	// Seed seeds the server's RNG; every VM derives its own stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration matching the paper's testbed
+// parameters (T_PCM = 0.01 s).
+func DefaultConfig() Config {
+	return Config{TPCM: 0.01, MissPenalty: 1.2, Seed: 1}
+}
+
+// VM is one virtual machine. Exactly one of app/attacker is non-nil.
+type VM struct {
+	id       VMID
+	name     string
+	app      *workload.Instance
+	attacker *attack.Attacker
+
+	// doneAt records when a finite app completed (0 = not yet).
+	doneAt float64
+	// lastSpeed is the effective speed of the most recent step.
+	lastSpeed float64
+}
+
+// ID returns the VM's identifier.
+func (v *VM) ID() VMID { return v.id }
+
+// Name returns the VM's name.
+func (v *VM) Name() string { return v.name }
+
+// App returns the VM's workload instance (nil for attack VMs).
+func (v *VM) App() *workload.Instance { return v.app }
+
+// DoneAt returns the simulated time the VM's finite app completed, or 0.
+func (v *VM) DoneAt() float64 { return v.doneAt }
+
+// LastSpeed returns the effective execution speed of the last step.
+func (v *VM) LastSpeed() float64 { return v.lastSpeed }
+
+// Server is one simulated physical machine.
+type Server struct {
+	cfg   Config
+	clock *sim.Clock
+	bus   *bus.Bus
+	rng   *sim.RNG
+
+	vms      []*VM
+	counters map[VMID]*pcm.Counter
+
+	hyperLoad      float64
+	throttleUntil  float64
+	throttleExcept VMID
+}
+
+// NewServer returns an empty server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.TPCM <= 0 {
+		return nil, fmt.Errorf("vmm: non-positive TPCM %v", cfg.TPCM)
+	}
+	if cfg.MissPenalty < 0 {
+		return nil, fmt.Errorf("vmm: negative miss penalty %v", cfg.MissPenalty)
+	}
+	return &Server{
+		cfg:            cfg,
+		clock:          sim.NewClock(cfg.TPCM),
+		bus:            bus.New(cfg.BusCapacity),
+		rng:            sim.NewRNG(cfg.Seed),
+		counters:       make(map[VMID]*pcm.Counter),
+		throttleExcept: -1,
+	}, nil
+}
+
+// MustNewServer is NewServer but panics on bad configuration.
+func MustNewServer(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AddApp creates a VM running the given application spec and returns it.
+func (s *Server) AddApp(name string, spec workload.Spec) (*VM, error) {
+	in, err := spec.New(s.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{id: VMID(len(s.vms)), name: name, app: in, lastSpeed: 1}
+	s.vms = append(s.vms, vm)
+	s.counters[vm.id] = pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM)
+	return vm, nil
+}
+
+// AddAttacker creates a VM running the given attacker and returns it.
+func (s *Server) AddAttacker(name string, a *attack.Attacker) (*VM, error) {
+	if a == nil {
+		return nil, fmt.Errorf("vmm: nil attacker")
+	}
+	vm := &VM{id: VMID(len(s.vms)), name: name, attacker: a, lastSpeed: 1}
+	s.vms = append(s.vms, vm)
+	s.counters[vm.id] = pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM)
+	return vm, nil
+}
+
+// Counter returns the PCM counter of the given VM.
+func (s *Server) Counter(id VMID) *pcm.Counter { return s.counters[id] }
+
+// VMs returns the server's VMs in creation order.
+func (s *Server) VMs() []*VM { return append([]*VM(nil), s.vms...) }
+
+// Now returns the current simulated time.
+func (s *Server) Now() float64 { return s.clock.Now() }
+
+// TPCM returns the sampling/step interval.
+func (s *Server) TPCM() float64 { return s.cfg.TPCM }
+
+// SetHypervisorLoad declares that detector processing consumes the given
+// fraction of every VM's CPU, slowing all applications accordingly. This is
+// how the performance overhead of each detection scheme is modelled.
+func (s *Server) SetHypervisorLoad(frac float64) error {
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("vmm: hypervisor load %v outside [0,1)", frac)
+	}
+	s.hyperLoad = frac
+	return nil
+}
+
+// ThrottleOthers pauses every VM except keep for the next dur seconds —
+// the execution-throttling primitive the KStest baseline uses to gather
+// attack-free reference samples. Pausing stops the attack too, and costs
+// all other applications real progress.
+func (s *Server) ThrottleOthers(keep VMID, dur float64) error {
+	if dur <= 0 {
+		return fmt.Errorf("vmm: non-positive throttle duration %v", dur)
+	}
+	s.throttleUntil = s.clock.Now() + dur
+	s.throttleExcept = keep
+	return nil
+}
+
+// Throttled reports whether the VM is currently paused by throttling.
+func (s *Server) Throttled(id VMID) bool {
+	return s.clock.Now() < s.throttleUntil && id != s.throttleExcept
+}
+
+// StepResult carries the PCM samples completed during a step, keyed by VM.
+type StepResult struct {
+	Time    float64
+	Samples map[VMID]pcm.Sample
+}
+
+// Step advances the server by one T_PCM tick and returns any completed PCM
+// samples.
+func (s *Server) Step() StepResult {
+	now := s.clock.Now()
+	dt := s.cfg.TPCM
+
+	// Phase 1: attacker demands.
+	cleansePressure := 0.0
+	for _, vm := range s.vms {
+		if vm.attacker == nil || s.Throttled(vm.id) || !vm.attacker.Active(now) {
+			continue
+		}
+		switch vm.attacker.Kind() {
+		case attack.BusLock:
+			s.bus.RequestLock(bus.Owner(vm.id), vm.attacker.IntensityAt(now)*dt)
+			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*dt)
+		case attack.LLCCleansing:
+			if p := vm.attacker.IntensityAt(now); p > cleansePressure {
+				cleansePressure = p
+			}
+			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*dt)
+		}
+	}
+
+	// Phase 2: application demands, attenuated by cleansing stalls.
+	type appState struct {
+		requested float64
+		miss      float64
+		stall     float64
+	}
+	states := make(map[VMID]appState, len(s.vms))
+	for _, vm := range s.vms {
+		if vm.app == nil || s.Throttled(vm.id) || vm.app.Done() {
+			continue
+		}
+		demand, m0 := vm.app.Demand(dt)
+		m := m0 + (1-m0)*cleansePressure
+		stall := 1.0
+		if excess := m - m0; excess > 0 {
+			stall = 1 / (1 + s.cfg.MissPenalty*excess)
+		}
+		requested := demand * stall
+		s.bus.RequestAccesses(bus.Owner(vm.id), requested)
+		states[vm.id] = appState{requested: requested, miss: m, stall: stall}
+	}
+
+	// Phase 3: bus arbitration.
+	delivered := s.bus.Resolve(dt)
+
+	// Phase 4: progress and PCM accounting.
+	res := StepResult{Time: now + dt, Samples: make(map[VMID]pcm.Sample)}
+	for _, vm := range s.vms {
+		var accesses, misses float64
+		if st, ok := states[vm.id]; ok {
+			d := delivered[bus.Owner(vm.id)]
+			ratio := 1.0
+			if st.requested > 0 {
+				ratio = d / st.requested
+			}
+			speed := st.stall * ratio * (1 - s.hyperLoad)
+			vm.lastSpeed = speed
+			vm.app.Advance(dt, speed)
+			if vm.doneAt == 0 && vm.app.Done() {
+				vm.doneAt = now + dt
+			}
+			accesses = d
+			misses = d * st.miss
+		} else {
+			vm.lastSpeed = 0
+		}
+		if sample, ok := s.counters[vm.id].Observe(accesses, misses); ok {
+			res.Samples[vm.id] = sample
+		}
+	}
+
+	s.clock.Tick()
+	return res
+}
+
+// RunUntil steps the server until simulated time t, invoking onStep (if
+// non-nil) after every step. onStep may call back into the server (e.g. to
+// throttle).
+func (s *Server) RunUntil(t float64, onStep func(StepResult)) {
+	for s.clock.Now() < t {
+		res := s.Step()
+		if onStep != nil {
+			onStep(res)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+// Builder constructs custom application Specs fluently — the path for
+// adopters modelling their own workloads rather than the paper's ten. All
+// methods return the builder for chaining; Build validates the result.
+//
+//	spec, err := workload.NewBuilder("My service", "SVC").
+//		AccessRate(1.5e6).
+//		MissRatio(0.09).
+//		Noise(0.1).
+//		Phase(1.0, 1.0, 6).
+//		Phase(0.7, 1.3, 4).
+//		Build()
+type Builder struct {
+	spec Spec
+}
+
+// NewBuilder starts a spec with the given name and abbreviation.
+func NewBuilder(name, abbrev string) *Builder {
+	return &Builder{spec: Spec{Name: name, Abbrev: abbrev}}
+}
+
+// AccessRate sets the base LLC access demand in accesses per work-second.
+func (b *Builder) AccessRate(rate float64) *Builder {
+	b.spec.BaseAccessRate = rate
+	return b
+}
+
+// MissRatio sets the intrinsic LLC miss ratio.
+func (b *Builder) MissRatio(ratio float64) *Builder {
+	b.spec.BaseMissRatio = ratio
+	return b
+}
+
+// Noise sets the per-sample multiplicative noise fraction.
+func (b *Builder) Noise(frac float64) *Builder {
+	b.spec.NoiseFrac = frac
+	return b
+}
+
+// Periodic declares a batch-periodic access pattern with the given period
+// (work-seconds) and modulation amplitude.
+func (b *Builder) Periodic(periodSec, amplitude float64) *Builder {
+	b.spec.Periodic = true
+	b.spec.PeriodSec = periodSec
+	b.spec.Amplitude = amplitude
+	return b
+}
+
+// Phase appends one regime-chain phase.
+func (b *Builder) Phase(accessFactor, missFactor, dwellMean float64) *Builder {
+	b.spec.Phases = append(b.spec.Phases, Phase{
+		AccessFactor: accessFactor,
+		MissFactor:   missFactor,
+		DwellMean:    dwellMean,
+	})
+	return b
+}
+
+// Runtime sets the nominal completion time (0 = runs forever).
+func (b *Builder) Runtime(workSeconds float64) *Builder {
+	b.spec.WorkSeconds = workSeconds
+	return b
+}
+
+// Build validates and returns the spec.
+func (b *Builder) Build() (Spec, error) {
+	if err := b.spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return b.spec, nil
+}

@@ -1,0 +1,229 @@
+// Package workload models the memory-access behaviour of the ten cloud
+// applications studied in the paper (HiBench ML workloads, Hive queries,
+// TeraSort, PageRank, and FaceNet) as stochastic counter processes.
+//
+// The paper's detectors observe only the per-10ms LLC access and miss
+// counters, so each application is modelled by the process generating those
+// counters: a base access rate modulated by (a) a regime chain capturing
+// the application's execution phases (map/shuffle/reduce, query stages,
+// training iterations, ...), (b) an optional periodic batch pattern (PCA
+// and FaceNet repeat identical computations per input batch and are the
+// paper's "periodic applications"), and (c) multiplicative sampling noise.
+//
+// Crucially, both the regime chain and the periodic pattern advance with
+// the application's *work phase*, not with wall time. When an attack slows
+// the application down, the same pattern plays out stretched in wall time —
+// reproducing the paper's Observation (2) that attacks prolong the period
+// of periodic applications.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/sim"
+)
+
+// Phase is one state of an application's regime chain.
+type Phase struct {
+	// AccessFactor scales the base access rate while in this phase.
+	AccessFactor float64
+	// MissFactor scales the base miss ratio while in this phase.
+	MissFactor float64
+	// DwellMean is the mean phase duration in work-seconds (exponential).
+	DwellMean float64
+}
+
+// Spec statically describes an application model.
+type Spec struct {
+	// Name is the full application name, Abbrev the paper's Table II
+	// abbreviation.
+	Name   string
+	Abbrev string
+
+	// BaseAccessRate is the intrinsic LLC access demand in accesses per
+	// work-second.
+	BaseAccessRate float64
+	// BaseMissRatio is the intrinsic LLC miss ratio in [0, 1].
+	BaseMissRatio float64
+	// NoiseFrac is the per-sample multiplicative Gaussian noise fraction.
+	NoiseFrac float64
+
+	// Periodic marks applications with batch-periodic access patterns.
+	Periodic bool
+	// PeriodSec is the nominal batch period in work-seconds.
+	PeriodSec float64
+	// Amplitude is the periodic modulation depth as a fraction of the
+	// base access rate.
+	Amplitude float64
+
+	// Phases is the regime chain; an empty slice means a single steady
+	// phase. Transitions pick a uniformly random *different* phase.
+	Phases []Phase
+
+	// WorkSeconds is the nominal completion time used by the
+	// performance-overhead experiments. Zero means the application runs
+	// indefinitely (recurring service).
+	WorkSeconds float64
+}
+
+// Service returns a copy of the spec with WorkSeconds cleared, i.e. the
+// application run as a recurring service that never completes. The paper's
+// 600-second detection scenarios keep the victim application running for
+// the whole run; the finite WorkSeconds is used only by the
+// performance-overhead experiments that measure completion times.
+func (s Spec) Service() Spec {
+	s.WorkSeconds = 0
+	return s
+}
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error {
+	if s.Name == "" || s.Abbrev == "" {
+		return fmt.Errorf("workload: spec missing name/abbrev: %+v", s)
+	}
+	if s.BaseAccessRate <= 0 {
+		return fmt.Errorf("workload %s: non-positive base access rate", s.Name)
+	}
+	if s.BaseMissRatio < 0 || s.BaseMissRatio > 1 {
+		return fmt.Errorf("workload %s: miss ratio %v outside [0,1]", s.Name, s.BaseMissRatio)
+	}
+	if s.Periodic && s.PeriodSec <= 0 {
+		return fmt.Errorf("workload %s: periodic with non-positive period", s.Name)
+	}
+	for i, p := range s.Phases {
+		if p.AccessFactor <= 0 || p.DwellMean <= 0 {
+			return fmt.Errorf("workload %s: invalid phase %d: %+v", s.Name, i, p)
+		}
+	}
+	return nil
+}
+
+// Instance is a running application model. It is not safe for concurrent
+// use.
+type Instance struct {
+	spec Spec
+	rng  *sim.RNG
+
+	// work is the accumulated work phase in work-seconds.
+	work float64
+	// phaseIdx / phaseLeft track the regime chain.
+	phaseIdx  int
+	phaseLeft float64
+}
+
+// New instantiates the spec with its own RNG stream.
+func (s Spec) New(rng *sim.RNG) (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{spec: s, rng: rng}
+	if len(s.Phases) > 0 {
+		in.phaseIdx = rng.Intn(len(s.Phases))
+		in.phaseLeft = rng.Exponential(s.Phases[in.phaseIdx].DwellMean)
+	}
+	return in, nil
+}
+
+// MustNew is New but panics on an invalid spec.
+func (s Spec) MustNew(rng *sim.RNG) *Instance {
+	in, err := s.New(rng)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Spec returns the instance's static description.
+func (in *Instance) Spec() Spec { return in.spec }
+
+// phase returns the current regime phase (a neutral phase when the spec has
+// none).
+func (in *Instance) phase() Phase {
+	if len(in.spec.Phases) == 0 {
+		return Phase{AccessFactor: 1, MissFactor: 1, DwellMean: 1}
+	}
+	return in.spec.Phases[in.phaseIdx]
+}
+
+// waveform returns the periodic modulation factor at the current work
+// phase: 1 for non-periodic applications, a raised cosine batch pattern
+// otherwise.
+func (in *Instance) waveform() float64 {
+	if !in.spec.Periodic {
+		return 1
+	}
+	frac := in.work / in.spec.PeriodSec
+	frac -= float64(int64(frac))
+	// Raised cosine: peaks mid-batch (compute burst), dips at batch
+	// boundaries (I/O, weight update).
+	return 1 - in.spec.Amplitude*math.Cos(2*math.Pi*frac)
+}
+
+// Demand returns the application's intrinsic memory demand for a step of
+// dt simulated seconds: the number of LLC accesses it would issue if
+// unimpeded, and the intrinsic miss ratio for those accesses. The demand
+// is evaluated at the *current* work phase; callers then report how much
+// of the demand was actually delivered via Advance.
+func (in *Instance) Demand(dt float64) (accesses, missRatio float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("workload: non-positive dt %v", dt))
+	}
+	p := in.phase()
+	rate := in.spec.BaseAccessRate * p.AccessFactor * in.waveform()
+	noise := 1 + in.rng.Normal(0, in.spec.NoiseFrac)
+	if noise < 0.05 {
+		noise = 0.05
+	}
+	accesses = rate * dt * noise
+	missRatio = in.spec.BaseMissRatio * p.MissFactor
+	if missRatio > 1 {
+		missRatio = 1
+	}
+	return accesses, missRatio
+}
+
+// Advance progresses the application by dt wall-seconds executed at the
+// given speed in [0, 1] (1 = unimpeded). Work phase, regime chain and the
+// periodic waveform all advance by dt*speed work-seconds, so a slowed
+// application stretches its pattern in wall time.
+func (in *Instance) Advance(dt, speed float64) {
+	if speed < 0 {
+		speed = 0
+	}
+	if speed > 1 {
+		speed = 1
+	}
+	w := dt * speed
+	in.work += w
+	if len(in.spec.Phases) == 0 {
+		return
+	}
+	in.phaseLeft -= w
+	for in.phaseLeft <= 0 {
+		in.phaseIdx = in.nextPhase()
+		in.phaseLeft += in.rng.Exponential(in.spec.Phases[in.phaseIdx].DwellMean)
+	}
+}
+
+// nextPhase picks a uniformly random phase different from the current one
+// (or the same one when only one exists).
+func (in *Instance) nextPhase() int {
+	n := len(in.spec.Phases)
+	if n == 1 {
+		return 0
+	}
+	next := in.rng.Intn(n - 1)
+	if next >= in.phaseIdx {
+		next++
+	}
+	return next
+}
+
+// Work returns accumulated work in work-seconds.
+func (in *Instance) Work() float64 { return in.work }
+
+// Done reports whether a finite application has completed its work.
+func (in *Instance) Done() bool {
+	return in.spec.WorkSeconds > 0 && in.work >= in.spec.WorkSeconds
+}

@@ -1,0 +1,257 @@
+// Package memdos is a simulation-backed reproduction of "Impact of Memory
+// DoS Attacks on Cloud Applications and Real-Time Detection Schemes"
+// (Li, Sen, Shen, Chuah — ICPP 2020 / IEEE-ACM ToN 2022).
+//
+// It provides, end to end and with no dependencies beyond the standard
+// library:
+//
+//   - a virtualized-server substrate (set-associative LLC, lockable memory
+//     bus, VM scheduler with execution throttling, PCM-style hardware
+//     counters),
+//   - the two memory DoS attacks (atomic bus locking, LLC cleansing with
+//     its probing phase) and the paper's adaptive attack schedule,
+//   - counter-process models of the paper's ten cloud applications,
+//   - the detection schemes: SDS/B, SDS/P, combined SDS, the LSTM-FCN
+//     cascade DNN detector (including a from-scratch deep-learning stack),
+//     and the prior-work KStest baseline, and
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// This file is a façade re-exporting the high-level API; the
+// implementation lives under internal/. See README.md for a tour and
+// examples/ for runnable programs.
+package memdos
+
+import (
+	"memdos/internal/attack"
+	"memdos/internal/container"
+	"memdos/internal/core"
+	"memdos/internal/dnn"
+	"memdos/internal/experiments"
+	"memdos/internal/metrics"
+	"memdos/internal/pcm"
+	"memdos/internal/vmm"
+	"memdos/internal/workload"
+)
+
+// Detection schemes (Sections IV and V).
+type (
+	// Detector is a real-time memory-DoS detection scheme consuming PCM
+	// samples.
+	Detector = core.Detector
+	// Params is the Table I parameter set shared by the schemes.
+	Params = core.Params
+	// Profile is an application's attack-free counter profile.
+	Profile = core.Profile
+	// SDS is the combined boundary+period statistical scheme.
+	SDS = core.SDS
+	// SDSB is the boundary-based scheme alone.
+	SDSB = core.SDSB
+	// SDSP is the period-based scheme alone.
+	SDSP = core.SDSP
+	// KSTestDetector is the prior-work baseline (Zhang et al.).
+	KSTestDetector = core.KSTestDetector
+	// KSParams configures the baseline's protocol.
+	KSParams = core.KSParams
+	// DNNDetector wraps a trained LSTM-FCN cascade.
+	DNNDetector = core.DNNDetector
+	// SDSU is the utilization-correlated, profile-free extension for
+	// dynamic applications (the paper's Section VIII future work).
+	SDSU = core.SDSU
+	// Decision is one dated alarm verdict.
+	Decision = core.Decision
+	// Ensemble combines detectors under a vote rule (Section VII's
+	// deployment discussion as a first-class detector).
+	Ensemble = core.Ensemble
+	// Incident is one contiguous alarm episode.
+	Incident = core.Incident
+)
+
+// Ensemble vote rules.
+const (
+	VoteAny      = core.Any
+	VoteAll      = core.All
+	VoteMajority = core.Majority
+)
+
+// Default and baseline parameter constructors.
+var (
+	// DefaultParams returns the paper's Table I values.
+	DefaultParams = core.DefaultParams
+	// DefaultKSParams is the Section III-B baseline protocol.
+	DefaultKSParams = core.DefaultKSParams
+	// EvaluationKSParams is the Section VI baseline cadence.
+	EvaluationKSParams = core.EvaluationKSParams
+	// BuildProfile derives a Profile from attack-free counter samples.
+	BuildProfile = core.BuildProfile
+	// NewSDS builds the combined detector from a profile.
+	NewSDS = core.NewSDS
+	// NewSDSB builds the boundary detector.
+	NewSDSB = core.NewSDSB
+	// NewSDSP builds the period detector (periodic profiles only).
+	NewSDSP = core.NewSDSP
+	// NewKSTestDetector builds the baseline.
+	NewKSTestDetector = core.NewKSTestDetector
+	// NewDNNDetector builds the DNN detector from a trained cascade.
+	NewDNNDetector = core.NewDNNDetector
+	// NewSDSU builds the utilization-correlated extension detector.
+	NewSDSU = core.NewSDSU
+	// LoadCascade reloads a cascade saved with (*Cascade).Save.
+	LoadCascade = dnn.LoadCascade
+	// NewEnsemble combines detectors under a vote rule.
+	NewEnsemble = core.NewEnsemble
+	// Incidents folds a decision time-line into alarm episodes.
+	Incidents = core.Incidents
+	// MergeIncidents joins episodes separated by short gaps.
+	MergeIncidents = core.MergeIncidents
+)
+
+// Simulated testbed (substrates).
+type (
+	// Server is the simulated physical machine (hypervisor + VMs).
+	Server = vmm.Server
+	// ServerConfig configures a Server.
+	ServerConfig = vmm.Config
+	// VM is one virtual machine.
+	VM = vmm.VM
+	// ServerStep is one simulation step's completed PCM samples.
+	ServerStep = vmm.StepResult
+	// Sample is one PCM counter observation.
+	Sample = pcm.Sample
+	// WorkloadSpec statically describes an application model.
+	WorkloadSpec = workload.Spec
+	// Attacker is a configured attack program.
+	Attacker = attack.Attacker
+	// AttackSchedule decides when the attack is enabled.
+	AttackSchedule = attack.Schedule
+)
+
+// Testbed constructors and registries.
+var (
+	// NewServer builds a simulated server.
+	NewServer = vmm.NewServer
+	// DefaultServerConfig matches the paper's testbed (T_PCM = 0.01 s).
+	DefaultServerConfig = vmm.DefaultConfig
+	// Workloads returns the ten application models of Table II.
+	Workloads = workload.All
+	// WorkloadByAbbrev resolves a Table II abbreviation.
+	WorkloadByAbbrev = workload.ByAbbrev
+	// NewBusLockAttack builds the atomic bus locking attacker.
+	NewBusLockAttack = attack.NewBusLock
+	// NewLLCCleansingAttack builds the LLC cleansing attacker.
+	NewLLCCleansingAttack = attack.NewLLCCleansing
+	// NewAdaptiveSchedule builds the Scenario 2 on/off schedule.
+	NewAdaptiveSchedule = attack.NewAdaptive
+)
+
+// Attack schedule values.
+type (
+	// AttackWindow enables the attack during [Start, End).
+	AttackWindow = attack.Window
+	// AlwaysAttack keeps the attack enabled.
+	AlwaysAttack = attack.Always
+	// NeverAttack disables the attack.
+	NeverAttack = attack.Never
+)
+
+// DNN stack (Section V).
+type (
+	// Cascade is the two-stage LSTM-FCN classifier of Fig. 10.
+	Cascade = dnn.Cascade
+	// CascadeSample is one labelled training window.
+	CascadeSample = dnn.CascadeSample
+	// TrainConfig controls training.
+	TrainConfig = dnn.TrainConfig
+)
+
+// DNN constructors.
+var (
+	// NewCascade builds an untrained cascade.
+	NewCascade = dnn.NewCascade
+	// TrainCascadeModel fits a cascade on labelled windows.
+	TrainCascadeModel = dnn.TrainCascade
+	// PaperLSTMFCNConfig is the paper's full-size architecture.
+	PaperLSTMFCNConfig = dnn.PaperLSTMFCNConfig
+	// CompactLSTMFCNConfig is the CPU-scale architecture.
+	CompactLSTMFCNConfig = dnn.CompactLSTMFCNConfig
+	// DefaultDNNTrainConfig returns CPU-friendly training settings.
+	DefaultDNNTrainConfig = dnn.DefaultTrainConfig
+)
+
+// Evaluation (Section VI).
+type (
+	// Confusion is a binary confusion matrix.
+	Confusion = metrics.Confusion
+	// Interval is a ground-truth attack span.
+	Interval = metrics.Interval
+	// RunSpec describes one experiment run.
+	RunSpec = experiments.RunSpec
+	// RunResult is one run's decisions, truth and counter traces.
+	RunResult = experiments.RunResult
+	// Accuracy is a scored decision time-line.
+	Accuracy = experiments.Accuracy
+	// AttackMode selects the attack for a run.
+	AttackMode = experiments.AttackMode
+	// ExperimentEnv hands detector factories the run environment.
+	ExperimentEnv = experiments.Env
+	// DetectorFactory builds a detector for a concrete run.
+	DetectorFactory = experiments.DetectorFactory
+)
+
+// Attack modes for RunSpec.
+const (
+	NoAttack     = experiments.NoAttack
+	BusLock      = experiments.BusLock
+	LLCCleansing = experiments.Cleansing
+)
+
+// Experiment harness entry points.
+var (
+	// RunExperiment executes one configured run.
+	RunExperiment = experiments.Run
+	// DefaultRunSpec builds a Scenario 1 run.
+	DefaultRunSpec = experiments.DefaultRunSpec
+	// ProfileApplication profiles an app on a clean server.
+	ProfileApplication = experiments.ProfileApp
+	// ScoreRun scores one detector's output against ground truth.
+	ScoreRun = experiments.Score
+	// Evaluate scores a decision time-line directly.
+	Evaluate = metrics.Evaluate
+	// DetectionDelay extracts per-attack detection delays.
+	DetectionDelay = metrics.DetectionDelay
+	// SDSDetectorFactory builds SDS for an experiment run.
+	SDSDetectorFactory = experiments.SDSFactory
+	// KSDetectorFactory builds the KStest baseline wired to throttling.
+	KSDetectorFactory = experiments.KSFactory
+	// DNNDetectorFactory builds the DNN detector (trains the shared
+	// cascade on first use).
+	DNNDetectorFactory = experiments.DNNFactory
+	// CompareDetectors reproduces the Figs. 11-16 comparisons.
+	CompareDetectors = experiments.CompareDetectors
+	// MigrationStudy quantifies why migration alone cannot defeat the
+	// attacks (Section II).
+	MigrationStudy = experiments.MigrationStudy
+	// ContainerStudy runs the Section VIII serverless future-work
+	// scenario.
+	ContainerStudy = experiments.ContainerStudy
+	// ReplayDetector re-runs a detector over a recorded counter trace.
+	ReplayDetector = experiments.Replay
+)
+
+// Container substrate (Section VIII future work).
+type (
+	// ContainerPlatform is a container host with function churn.
+	ContainerPlatform = container.Platform
+	// FunctionSpec describes one deployed function.
+	FunctionSpec = container.FunctionSpec
+)
+
+// Container constructors.
+var (
+	// NewContainerPlatform builds a container host.
+	NewContainerPlatform = container.NewPlatform
+	// DefaultContainerConfig mirrors the VM testbed parameters.
+	DefaultContainerConfig = container.DefaultConfig
+	// NewWorkloadBuilder starts a custom application spec.
+	NewWorkloadBuilder = workload.NewBuilder
+)
