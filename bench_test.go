@@ -7,11 +7,15 @@
 package memdos_test
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"memdos/internal/core"
 	"memdos/internal/experiments"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
 	"memdos/internal/workload"
 )
 
@@ -342,6 +346,72 @@ func BenchmarkAblationPeriodEstimators(b *testing.B) {
 	b.ReportMetric(dft, "dft_only_err")
 	b.ReportMetric(acf, "acf_only_err")
 	b.ReportMetric(both, "dft_acf_err")
+}
+
+// benchStreamIngest drives the always-on detection hub with nSessions
+// concurrent producers, each feeding an SDS/B pipeline, and reports
+// end-to-end throughput in samples/sec (ingest through detector push).
+func benchStreamIngest(b *testing.B, nSessions int) {
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block // measure detector throughput, not drops
+	cfg.QueueCap = 1 << 14
+	hub := stream.NewHub(cfg)
+	defer hub.Close()
+
+	params := core.DefaultParams()
+	params.W, params.DW = 200, 50
+	prof := core.Profile{AccessMean: 100, AccessStd: 5, MissMean: 10, MissStd: 2}
+	if err := hub.RegisterProfile("sdsb", func() (core.Detector, error) {
+		return core.NewSDSB(prof, params)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 256
+	batch := make([]pcm.Sample, batchLen)
+	for i := range batch {
+		batch[i] = pcm.Sample{Time: 0.01 * float64(i+1), AccessNum: 100, MissNum: 10}
+	}
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("vm-%03d", i)
+		if err := hub.Open(ids[i], "sdsb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	perSession := (b.N + nSessions - 1) / nSessions
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for sent := 0; sent < perSession; sent += batchLen {
+				if _, err := hub.Ingest(id, batch); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := hub.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	total := float64(perSession+batchLen-1) / batchLen * batchLen * float64(nSessions)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkStreamIngest measures the internal/stream hub at increasing
+// tenant counts — the serving-path cost of the paper's "always-on
+// detection on every hypervisor" deployment model.
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			benchStreamIngest(b, n)
+		})
+	}
 }
 
 func BenchmarkAblationMicrosimVsFast(b *testing.B) {

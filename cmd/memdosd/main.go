@@ -1,0 +1,155 @@
+// Command memdosd is the always-on memory-DoS detection daemon: the
+// serving layer the paper assumes runs on every hypervisor. It exposes
+// the multi-tenant streaming hub (internal/stream) over HTTP — PCM
+// sample producers POST batches to /v1/ingest, operators inspect
+// per-VM detector state and incidents under /v1/sessions, and the hub
+// counters are scraped from /metrics.
+//
+// Usage:
+//
+//	memdosd [-addr :9464] [-apps KM,FN] [-profile-dur 120]
+//	        [-shards 0] [-queue 4096] [-policy drop|block] [-merge-gap 2]
+//
+// Detector profiles available to sessions:
+//
+//	raw         profile-free naive threshold detector (no setup cost)
+//	sdsb:<APP>  SDS/B with <APP>'s attack-free profile
+//	sds:<APP>   combined SDS with <APP>'s attack-free profile
+//
+// The per-application profiles are built at startup by running the named
+// workloads attack-free on the simulation substrate for -profile-dur
+// simulated seconds — the paper's "profile right after the VM starts,
+// before an adversary can co-locate" assumption.
+//
+// Shutdown (SIGINT/SIGTERM) is graceful: the listener stops accepting,
+// in-flight requests finish, queued samples drain through the detectors,
+// and the final per-session incident logs are printed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"memdos/internal/core"
+	"memdos/internal/experiments"
+	"memdos/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "memdosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("memdosd", flag.ContinueOnError)
+	addr := fs.String("addr", ":9464", "listen address")
+	apps := fs.String("apps", "KM", "comma-separated Table II apps to pre-profile ('' for none)")
+	profileDur := fs.Float64("profile-dur", 120, "attack-free profiling duration per app (simulated seconds)")
+	shards := fs.Int("shards", 0, "worker shards (0 = one per CPU)")
+	queue := fs.Int("queue", 4096, "per-session queue capacity in samples")
+	policy := fs.String("policy", "drop", "full-queue policy: drop | block")
+	mergeGap := fs.Float64("merge-gap", 2, "merge incident episodes separated by <= this many seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := stream.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.QueueCap = *queue
+	cfg.MergeGap = *mergeGap
+	switch *policy {
+	case "drop":
+		cfg.Policy = stream.DropNewest
+	case "block":
+		cfg.Policy = stream.Block
+	default:
+		return fmt.Errorf("unknown -policy %q (want drop or block)", *policy)
+	}
+
+	hub := stream.NewHub(cfg)
+	if err := registerProfiles(hub, splitApps(*apps), *profileDur); err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(hub)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("memdosd: listening on %s (profiles: %s)\n", *addr, strings.Join(hub.Profiles(), ", "))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		hub.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("memdosd: shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	hub.Close() // drains queues, seals incident logs
+	for _, in := range hub.Sessions() {
+		fmt.Printf("memdosd: session %s (%s): %d samples, %d decisions, %d incidents\n",
+			in.ID, in.Detector, in.Ingested, in.Decisions, len(in.Incidents))
+	}
+	st := hub.Stats()
+	fmt.Printf("memdosd: bye (%d samples ingested, %d dropped, %d alarms raised)\n",
+		st.SamplesIngested, st.SamplesDropped, st.AlarmsRaised)
+	return nil
+}
+
+func splitApps(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// registerProfiles installs the daemon's detector profiles: the
+// profile-free "raw" fallback plus per-application SDS pipelines built
+// from attack-free profiling runs.
+func registerProfiles(hub *stream.Hub, apps []string, profileDur float64) error {
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		return err
+	}
+	params := core.DefaultParams()
+	for _, app := range apps {
+		prof, err := experiments.ProfileApp(app, profileDur, params)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", app, err)
+		}
+		if err := hub.RegisterProfile("sdsb:"+app, func() (core.Detector, error) {
+			return core.NewSDSB(prof, params)
+		}); err != nil {
+			return err
+		}
+		if err := hub.RegisterProfile("sds:"+app, func() (core.Detector, error) {
+			return core.NewSDS(prof, params)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

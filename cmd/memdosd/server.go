@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"memdos/internal/metrics"
+	"memdos/internal/stream"
+)
+
+// server wires the streaming hub to the HTTP API:
+//
+//	POST /v1/ingest        batched JSON samples, many sessions per call
+//	POST /v1/sessions      open a session {"session":..,"profile":..}
+//	GET  /v1/sessions      list all sessions
+//	GET  /v1/sessions/{id} one session: detector state, open incidents
+//	DELETE /v1/sessions/{id}
+//	GET  /metrics          Prometheus text exposition of the hub counters
+//	GET  /healthz          liveness
+type server struct {
+	hub      *stream.Hub
+	registry *metrics.Registry
+	mux      *http.ServeMux
+
+	// autoOpen serializes concurrent first-contact session creation so
+	// two racing ingest requests do not both try to open one session.
+	autoOpen sync.Mutex
+}
+
+func newServer(hub *stream.Hub) *server {
+	s := &server{hub: hub, registry: metrics.NewRegistry(), mux: http.NewServeMux()}
+	hub.RegisterMetrics(s.registry)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	req, err := stream.DecodeIngest(http.MaxBytesReader(w, r.Body, stream.MaxIngestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp stream.IngestResponse
+	for _, b := range req.Batches {
+		if b.Profile != "" {
+			if err := s.ensureSession(b.Session, b.Profile); err != nil {
+				resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", b.Session, err))
+				continue
+			}
+		}
+		n, err := s.hub.Ingest(b.Session, b.Samples)
+		if err != nil {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", b.Session, err))
+			continue
+		}
+		resp.Accepted += n
+		resp.Dropped += len(b.Samples) - n
+	}
+	status := http.StatusOK
+	if resp.Accepted == 0 && len(resp.Errors) > 0 {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
+}
+
+// ensureSession opens the session on first contact; an existing session
+// with the same profile is fine, a conflicting profile is an error.
+func (s *server) ensureSession(id, profile string) error {
+	if in, ok := s.hub.Session(id); ok {
+		if in.Profile != profile {
+			return fmt.Errorf("session open with profile %q, request says %q", in.Profile, profile)
+		}
+		return nil
+	}
+	s.autoOpen.Lock()
+	defer s.autoOpen.Unlock()
+	if _, ok := s.hub.Session(id); ok {
+		return nil
+	}
+	return s.hub.Open(id, profile)
+}
+
+type openSessionRequest struct {
+	Session string `json:"session"`
+	Profile string `json:"profile"`
+}
+
+func (s *server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req openSessionRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.hub.Open(req.Session, req.Profile); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already open") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	in, _ := s.hub.Session(req.Session)
+	writeJSON(w, http.StatusCreated, in)
+}
+
+func (s *server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": s.hub.Sessions(),
+		"profiles": s.hub.Profiles(),
+	})
+}
+
+func (s *server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.hub.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, in)
+}
+
+func (s *server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.hub.CloseSession(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.registry.WriteTo(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

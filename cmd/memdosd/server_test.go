@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
+)
+
+// newTestDaemon assembles the daemon exactly as run() does — hub,
+// profiles, HTTP handler — behind an httptest server. The raw detector
+// plus a synthetic SDS/B profile keep it fast (no workload profiling).
+func newTestDaemon(t *testing.T) (*httptest.Server, *stream.Hub) {
+	t.Helper()
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block
+	hub := stream.NewHub(cfg)
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.W, params.DW, params.HC = 20, 10, 2
+	prof := core.Profile{AccessMean: 100, AccessStd: 5, MissMean: 10, MissStd: 2}
+	if err := hub.RegisterProfile("sdsb:test", func() (core.Detector, error) {
+		return core.NewSDSB(prof, params)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(hub))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { hub.Close() })
+	return ts, hub
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// ingestBody builds a one-session ingest request whose AccessNum
+// collapses halfway through (the bus-locking footprint).
+func ingestBody(session, profile string, n int, t0 float64) stream.IngestRequest {
+	samples := make([]pcm.Sample, n)
+	for i := range samples {
+		access := 100 + 3*math.Sin(float64(i)/7)
+		if i >= n/2 {
+			access *= 0.25
+		}
+		samples[i] = pcm.Sample{Time: t0 + 0.01*float64(i+1), AccessNum: access, MissNum: 10}
+	}
+	return stream.IngestRequest{Batches: []stream.IngestBatch{{Session: session, Profile: profile, Samples: samples}}}
+}
+
+func TestEndToEnd(t *testing.T) {
+	ts, hub := newTestDaemon(t)
+
+	// Liveness.
+	resp, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	// Explicit session creation.
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/sessions",
+		openSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session: %d %s", resp.StatusCode, body)
+	}
+	// Duplicate -> conflict.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/sessions",
+		openSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate session: %d", resp.StatusCode)
+	}
+
+	// Batched ingest: explicit session + auto-created one in one call.
+	req := ingestBody("vm-alpha", "", 600, 0)
+	req.Batches = append(req.Batches, ingestBody("vm-beta", "raw", 100, 0).Batches...)
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/ingest", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	var ir stream.IngestResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 700 || len(ir.Errors) != 0 {
+		t.Fatalf("ingest response = %+v", ir)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session list.
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/sessions", nil)
+	var list struct {
+		Sessions []stream.SessionInfo `json:"sessions"`
+		Profiles []string             `json:"profiles"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(list.Sessions) != 2 || len(list.Profiles) != 2 {
+		t.Fatalf("sessions list: %d %+v", resp.StatusCode, list)
+	}
+
+	// Per-session state: the attacked half must have raised an incident.
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/sessions/vm-alpha", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get session: %d %s", resp.StatusCode, body)
+	}
+	var in stream.SessionInfo
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Ingested != 600 || in.Decisions == 0 {
+		t.Fatalf("session info = %+v", in)
+	}
+	if !in.AlarmActive || len(in.Incidents) == 0 {
+		t.Fatalf("attack not reflected: %+v", in)
+	}
+	if in.State["access_ewma"] == 0 {
+		t.Fatalf("no detector state: %+v", in.State)
+	}
+
+	// Unknown session -> 404.
+	if resp, _ = doJSON(t, "GET", ts.URL+"/v1/sessions/ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost session: %d", resp.StatusCode)
+	}
+
+	// Metrics exposition reflects the ingest.
+	resp, body = doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"memdos_stream_samples_ingested_total 700",
+		"memdos_stream_sessions 2",
+		"memdos_stream_alarms_raised_total",
+		"memdos_stream_queue_depth{shard=",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Close one session over HTTP.
+	if resp, _ = doJSON(t, "DELETE", ts.URL+"/v1/sessions/vm-beta", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete session: %d", resp.StatusCode)
+	}
+	if _, ok := hub.Session("vm-beta"); ok {
+		t.Fatal("vm-beta still open")
+	}
+}
+
+func TestIngestRejectsMalformed(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	for _, body := range []string{
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":-3,"miss":1}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1e999,"miss":1}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1}]}]}`,
+		`{"batches":[]}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Unknown session without a profile: request-level OK is impossible
+	// (every batch failed), so 400 with a per-batch error.
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/ingest", ingestBody("ghost", "", 10, 0))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "ghost") {
+		t.Errorf("ghost ingest: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulShutdown covers the daemon's drain path: queued samples
+// are fully processed by hub.Close even when ingestion stops abruptly.
+func TestGracefulShutdown(t *testing.T) {
+	ts, hub := newTestDaemon(t)
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/ingest", ingestBody("vm-1", "sdsb:test", 2000, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	ts.Close() // listener gone; queued work must still drain
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, ok := hub.Session("vm-1")
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if in.Pending != 0 {
+		t.Fatalf("pending after Close = %d", in.Pending)
+	}
+	// W=20, DW=10: 2000 samples -> (2000-20)/10+1 = 199 decisions.
+	if in.Decisions != 199 {
+		t.Fatalf("decisions after drain = %d, want 199", in.Decisions)
+	}
+	if !in.AlarmActive || len(in.Incidents) == 0 {
+		t.Fatalf("final incident log empty: %+v", in)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if err := run([]string{"-apps", "NOPE", "-policy", "drop"}); err == nil ||
+		!strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("bogus app: %v", err)
+	}
+}

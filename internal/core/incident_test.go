@@ -128,3 +128,77 @@ func TestIncidentsCoverAlarms(t *testing.T) {
 
 // newTestRNG avoids importing sim at every call site in this file.
 func newTestRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
+
+func TestIncidentsAllAlarm(t *testing.T) {
+	// A stream that alarms on every decision is one incident, still open,
+	// spanning first to last decision.
+	ds := decisions(1.0, true, 2.0, true, 3.0, true, 4.0, true)
+	incs, err := Incidents(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("all-alarm stream: %v", incs)
+	}
+	if incs[0].Start != 1 || incs[0].End != 4 || !incs[0].Open {
+		t.Errorf("all-alarm incident = %+v", incs[0])
+	}
+}
+
+func TestIncidentsSingleAlarm(t *testing.T) {
+	// One alarming decision with nothing after it: a zero-duration open
+	// incident, not a lost alarm.
+	incs, err := Incidents(decisions(1.0, false, 2.0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 || incs[0].Start != 2 || incs[0].End != 2 || !incs[0].Open {
+		t.Fatalf("single-alarm incidents = %v", incs)
+	}
+	if incs[0].Duration() != 0 {
+		t.Errorf("duration = %v", incs[0].Duration())
+	}
+}
+
+func TestMergeIncidentsEdgeCases(t *testing.T) {
+	// Empty (non-nil) input behaves like nil.
+	if got := MergeIncidents([]Incident{}, 5); got != nil {
+		t.Errorf("empty slice merged to %v", got)
+	}
+
+	// maxGap=0 still merges back-to-back episodes (gap exactly zero).
+	touching := []Incident{{Start: 1, End: 2}, {Start: 2, End: 3}}
+	if got := MergeIncidents(touching, 0); len(got) != 1 || got[0].Start != 1 || got[0].End != 3 {
+		t.Errorf("touching episodes at maxGap=0: %v", got)
+	}
+
+	// A chain of small gaps collapses transitively into one incident.
+	chain := []Incident{
+		{Start: 0, End: 10},
+		{Start: 11, End: 20},
+		{Start: 21, End: 30},
+		{Start: 31, End: 40},
+	}
+	if got := MergeIncidents(chain, 1); len(got) != 1 || got[0].Start != 0 || got[0].End != 40 {
+		t.Errorf("chain merge: %v", got)
+	}
+
+	// An open trailing incident keeps its Open flag through a merge...
+	open := []Incident{{Start: 0, End: 5}, {Start: 6, End: 9, Open: true}}
+	got := MergeIncidents(open, 2)
+	if len(got) != 1 || !got[0].Open || got[0].End != 9 {
+		t.Errorf("open trailing merge: %v", got)
+	}
+	// ...and a closed trailing incident clears it.
+	closed := []Incident{{Start: 0, End: 5, Open: true}, {Start: 6, End: 9}}
+	if got := MergeIncidents(closed, 2); len(got) != 1 || got[0].Open {
+		t.Errorf("closed trailing merge: %v", got)
+	}
+
+	// Merging must not mutate the input slice.
+	orig := []Incident{{Start: 0, End: 1}, {Start: 2, End: 3}}
+	MergeIncidents(orig, 10)
+	if orig[0].End != 1 {
+		t.Errorf("input mutated: %v", orig)
+	}
+}

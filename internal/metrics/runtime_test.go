@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1500 {
+		t.Fatalf("counter = %d, want %d", got, 8*1500)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	g.Set(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(0.5)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	// +0.5/-0.5 pairs cancel exactly in binary floating point.
+	if got := g.Value(); got != 100 {
+		t.Fatalf("gauge = %v, want 100", got)
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge after Set = %v", g.Value())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(7)
+	var g Gauge
+	g.Set(2.5)
+	r.RegisterCounter("demo_total", "demo counter", &c)
+	r.RegisterGauge("demo_depth", "demo gauge", &g)
+	r.RegisterGaugeFunc("demo_shards", "per-shard", func() []Point {
+		// Deliberately unsorted: WriteTo must sort by label set.
+		return []Point{{Labels: `shard="1"`, Value: 2}, {Labels: `shard="0"`, Value: 1}}
+	})
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP demo_total demo counter",
+		"# TYPE demo_total counter",
+		"demo_total 7",
+		"# TYPE demo_depth gauge",
+		"demo_depth 2.5",
+		"demo_shards{shard=\"0\"} 1",
+		"demo_shards{shard=\"1\"} 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Label sets render in sorted order.
+	if strings.Index(out, `shard="0"`) > strings.Index(out, `shard="1"`) {
+		t.Error("labelled points not sorted")
+	}
+	// Families render in registration order.
+	if strings.Index(out, "demo_total") > strings.Index(out, "demo_depth") {
+		t.Error("families not in registration order")
+	}
+}
+
+func TestRegistryEmptyFamilyOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGaugeFunc("empty_family", "nothing yet", func() []Point { return nil })
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	if strings.Contains(sb.String(), "empty_family") {
+		t.Errorf("empty family rendered: %s", sb.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.RegisterCounter("dup_total", "", &c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.RegisterCounter("dup_total", "", &c)
+}

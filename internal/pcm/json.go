@@ -1,0 +1,66 @@
+package pcm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// sampleJSON is the wire form of a Sample. Pointer fields distinguish a
+// missing key from an explicit zero, so ingestion can reject partial
+// samples instead of silently defaulting counters to 0.
+type sampleJSON struct {
+	Time      *float64 `json:"t"`
+	AccessNum *float64 `json:"access"`
+	MissNum   *float64 `json:"miss"`
+}
+
+// Validate reports whether the sample is a usable counter observation:
+// every field finite and both counters non-negative. Detectors assume
+// these invariants (NaN would poison every EWMA downstream), so network
+// ingestion paths must call this before Push.
+func (s Sample) Validate() error {
+	switch {
+	case math.IsNaN(s.Time) || math.IsInf(s.Time, 0):
+		return fmt.Errorf("pcm: non-finite sample time %v", s.Time)
+	case math.IsNaN(s.AccessNum) || math.IsInf(s.AccessNum, 0):
+		return fmt.Errorf("pcm: non-finite AccessNum %v", s.AccessNum)
+	case math.IsNaN(s.MissNum) || math.IsInf(s.MissNum, 0):
+		return fmt.Errorf("pcm: non-finite MissNum %v", s.MissNum)
+	case s.AccessNum < 0 || s.MissNum < 0:
+		return fmt.Errorf("pcm: negative counters %v/%v", s.AccessNum, s.MissNum)
+	}
+	return nil
+}
+
+// MarshalJSON encodes the sample as {"t":..,"access":..,"miss":..}. A
+// sample that fails Validate (NaN/Inf values) refuses to encode.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sampleJSON{Time: &s.Time, AccessNum: &s.AccessNum, MissNum: &s.MissNum})
+}
+
+// UnmarshalJSON decodes and validates a sample. All three fields are
+// required, unknown fields are rejected, and the decoded sample must pass
+// Validate — a malformed or hostile payload yields an error, never a
+// detector-poisoning sample.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w sampleJSON
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("pcm: bad sample: %w", err)
+	}
+	if w.Time == nil || w.AccessNum == nil || w.MissNum == nil {
+		return fmt.Errorf("pcm: sample missing required field (t/access/miss)")
+	}
+	out := Sample{Time: *w.Time, AccessNum: *w.AccessNum, MissNum: *w.MissNum}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}

@@ -1,0 +1,113 @@
+package pcm
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSampleJSONRoundTrip(t *testing.T) {
+	in := Sample{Time: 1.25, AccessNum: 120.5, MissNum: 8}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"t":`, `"access":`, `"miss":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form %s missing %s", b, key)
+		}
+	}
+	var out Sample
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+
+	// Slices of samples round-trip too (the ingest wire format).
+	batch := []Sample{{Time: 1, AccessNum: 2, MissNum: 3}, {Time: 2, AccessNum: 4, MissNum: 5}}
+	bb, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Sample
+	if err := json.Unmarshal(bb, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, back) {
+		t.Errorf("batch round trip: %v -> %v", batch, back)
+	}
+}
+
+func TestSampleJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"t":1,"access":2}`,                    // missing miss
+		`{"access":2,"miss":3}`,                 // missing t
+		`{"t":1,"access":2,"miss":3,"extra":4}`, // unknown field
+		`{"t":1,"access":-2,"miss":3}`,          // negative counter
+		`{"t":1,"access":1e999,"miss":3}`,       // +Inf after parse
+		`{"t":"now","access":2,"miss":3}`,       // wrong type
+		`[1,2,3]`,                               // not an object
+	}
+	for _, c := range cases {
+		var s Sample
+		if err := json.Unmarshal([]byte(c), &s); err == nil {
+			t.Errorf("accepted %s as %+v", c, s)
+		}
+	}
+}
+
+func TestSampleMarshalRejectsNonFinite(t *testing.T) {
+	for _, s := range []Sample{
+		{Time: math.NaN(), AccessNum: 1, MissNum: 1},
+		{Time: 1, AccessNum: math.Inf(1), MissNum: 1},
+		{Time: 1, AccessNum: 1, MissNum: math.Inf(-1)},
+	} {
+		if _, err := json.Marshal(s); err == nil {
+			t.Errorf("marshalled non-finite sample %+v", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Sample{Time: 0, AccessNum: 0, MissNum: 0}).Validate(); err != nil {
+		t.Errorf("zero sample rejected: %v", err)
+	}
+	if err := (Sample{Time: -1, AccessNum: 1, MissNum: 1}).Validate(); err != nil {
+		t.Errorf("negative time is legal (relative clocks): %v", err)
+	}
+	if err := (Sample{AccessNum: -0.001}).Validate(); err == nil {
+		t.Error("negative AccessNum accepted")
+	}
+	if err := (Sample{MissNum: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN MissNum accepted")
+	}
+}
+
+// TestCounterLargeRatioTolerance is the regression test for the sampling
+// tolerance fix: at large tick ratios (fine tick, coarse sample) the old
+// absolute 1e-9 comparison spuriously rejected exact multiples because
+// the float division error scales with the ratio itself.
+func TestCounterLargeRatioTolerance(t *testing.T) {
+	// 0.007/1e-8 = 7e5 ticks per sample; representable only to ~1e-11
+	// relative error, far above an absolute 1e-9 at this magnitude.
+	c, err := NewCounter("large", 0.007, 1e-8)
+	if err != nil {
+		t.Fatalf("large exact ratio rejected: %v", err)
+	}
+	if c.ticksPer != 700000 {
+		t.Fatalf("ticks per sample = %d", c.ticksPer)
+	}
+	// Genuine non-multiples must still fail.
+	if _, err := NewCounter("bad", 0.01, 0.003); err == nil {
+		t.Error("non-multiple ratio accepted")
+	}
+	// A ratio off by ~1% is rejected even at large magnitude.
+	if _, err := NewCounter("bad2", 0.00707, 1e-8); err != nil {
+		// 707000 is an exact multiple — this must be accepted.
+		t.Errorf("exact multiple 707000 rejected: %v", err)
+	}
+}

@@ -44,7 +44,10 @@ func NewCounter(name string, tpcm, dt float64) (*Counter, error) {
 	}
 	ratio := tpcm / dt
 	ticks := int(math.Round(ratio))
-	if ticks < 1 || math.Abs(ratio-float64(ticks)) > 1e-9 {
+	// The tolerance is relative to the ratio: an absolute epsilon would
+	// reject valid large tpcm/dt ratios whose float division error alone
+	// exceeds it.
+	if ticks < 1 || math.Abs(ratio-float64(ticks)) > 1e-9*ratio {
 		return nil, fmt.Errorf("pcm: tpcm %v is not an integer multiple of dt %v", tpcm, dt)
 	}
 	return &Counter{

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memdos/internal/pcm"
+)
+
+// Wire types of the memdosd ingestion API (POST /v1/ingest). The decoder
+// is deliberately strict — it faces the network: unknown fields, partial
+// samples, non-finite counters, oversized payloads and trailing garbage
+// are all errors, never panics (FuzzDecodeIngest enforces this).
+
+// Decode limits: a request may not exceed MaxIngestBytes on the wire or
+// MaxIngestSamples decoded samples across all batches.
+const (
+	MaxIngestBytes   = 8 << 20
+	MaxIngestSamples = 1 << 17
+)
+
+// IngestBatch carries consecutive samples of one session's PCM stream.
+type IngestBatch struct {
+	Session string `json:"session"`
+	// Profile optionally asks the daemon to auto-open the session with
+	// this detector profile on first contact.
+	Profile string       `json:"profile,omitempty"`
+	Samples []pcm.Sample `json:"samples"`
+}
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	Batches []IngestBatch `json:"batches"`
+}
+
+// IngestResponse reports the per-request outcome.
+type IngestResponse struct {
+	// Accepted and Dropped count samples over all batches; Dropped are
+	// shed by the queue policy (the request itself still succeeds).
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	// Errors lists per-batch failures (unknown session, bad profile);
+	// other batches are still applied.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// DecodeIngest parses and validates an ingest request body.
+func DecodeIngest(r io.Reader) (*IngestRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxIngestBytes+1))
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("stream: bad ingest request: %w", err)
+	}
+	// A second value (or any trailing token) means the body was not one
+	// JSON document.
+	if dec.More() {
+		return nil, fmt.Errorf("stream: trailing data after ingest request")
+	}
+	if len(req.Batches) == 0 {
+		return nil, fmt.Errorf("stream: ingest request has no batches")
+	}
+	total := 0
+	for i := range req.Batches {
+		b := &req.Batches[i]
+		if err := validSessionID(b.Session); err != nil {
+			return nil, fmt.Errorf("stream: batch %d: %w", i, err)
+		}
+		if len(b.Samples) == 0 {
+			return nil, fmt.Errorf("stream: batch %d (%s) has no samples", i, b.Session)
+		}
+		total += len(b.Samples)
+		if total > MaxIngestSamples {
+			return nil, fmt.Errorf("stream: ingest request exceeds %d samples", MaxIngestSamples)
+		}
+	}
+	return &req, nil
+}

@@ -1,0 +1,288 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+)
+
+// numShards is the default shard count: one worker per CPU.
+func numShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AlarmEvent is one alarm transition of one session, delivered to
+// subscribers: Raised true when the detector's alarm goes up, false when
+// it clears. Time is the triggering decision's (simulated) timestamp.
+type AlarmEvent struct {
+	Session  string  `json:"session"`
+	Detector string  `json:"detector"`
+	Time     float64 `json:"t"`
+	Raised   bool    `json:"raised"`
+}
+
+// SessionInfo is a point-in-time view of one detection session.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Profile  string `json:"profile"`
+	Detector string `json:"detector"`
+	Shard    int    `json:"shard"`
+
+	Ingested  uint64 `json:"ingested"`
+	Dropped   uint64 `json:"dropped"`
+	Pending   int64  `json:"pending"`
+	Decisions uint64 `json:"decisions"`
+	// OutOfOrder counts decisions whose timestamp ran backwards (a
+	// producer replaying history); they still count as decisions but are
+	// excluded from incident folding.
+	OutOfOrder uint64 `json:"outOfOrder"`
+
+	AlarmActive  bool           `json:"alarmActive"`
+	AlarmsRaised uint64         `json:"alarmsRaised"`
+	LastDecision *core.Decision `json:"lastDecision,omitempty"`
+	// Incidents are the session's alarm episodes, flap-merged with the
+	// hub's MergeGap.
+	Incidents []core.Incident `json:"incidents,omitempty"`
+	// State is the detector's state snapshot (nil for detectors without
+	// Snapshotter support).
+	State map[string]float64 `json:"state,omitempty"`
+}
+
+// Session is one protected VM's always-on detection pipeline. All
+// detector and tracker mutation happens on the session's shard
+// goroutine; mu only guards inspection against that single writer.
+type Session struct {
+	hub     *Hub
+	id      string
+	profile string
+	det     core.Detector
+	shard   *shard
+
+	// queue accounting. pending is the number of accepted samples not
+	// yet processed; qmu/cond implement the Block policy.
+	pending atomic.Int64
+	qmu     sync.Mutex
+	cond    *sync.Cond
+	removed atomic.Bool
+
+	ingested atomic.Uint64
+	dropped  atomic.Uint64
+
+	// mu guards everything below (shard goroutine writes, info reads).
+	mu           sync.Mutex
+	tracker      incidentTracker
+	decisions    uint64
+	outOfOrder   uint64
+	alarmsRaised uint64
+	alarmActive  bool
+	lastDecision core.Decision
+	hasDecision  bool
+	recorded     []core.Decision
+	sealed       bool
+}
+
+func newSession(h *Hub, id, profile string, det core.Detector, sh *shard) *Session {
+	s := &Session{hub: h, id: id, profile: profile, det: det, shard: sh}
+	s.cond = sync.NewCond(&s.qmu)
+	return s
+}
+
+// enqueue applies the queue policy and hands the batch to the shard.
+func (s *Session) enqueue(samples []pcm.Sample) (int, error) {
+	n := int64(len(samples))
+	cap64 := int64(s.hub.cfg.QueueCap)
+	switch s.hub.cfg.Policy {
+	case Block:
+		s.qmu.Lock()
+		for s.pending.Load()+n > cap64 && !s.hub.closing.Load() && !s.removed.Load() {
+			s.cond.Wait()
+		}
+		if s.hub.closing.Load() {
+			s.qmu.Unlock()
+			return 0, ErrClosed
+		}
+		if s.removed.Load() {
+			s.qmu.Unlock()
+			return 0, errRemoved(s.id)
+		}
+		s.pending.Add(n)
+		s.qmu.Unlock()
+		s.shard.pending.Add(n)
+		s.shard.work <- work{sess: s, samples: append([]pcm.Sample(nil), samples...)}
+	default: // DropNewest
+		if s.pending.Load()+n > cap64 {
+			s.drop(n)
+			return 0, nil
+		}
+		s.pending.Add(n)
+		s.shard.pending.Add(n)
+		select {
+		case s.shard.work <- work{sess: s, samples: append([]pcm.Sample(nil), samples...)}:
+		default:
+			s.pending.Add(-n)
+			s.shard.pending.Add(-n)
+			s.drop(n)
+			return 0, nil
+		}
+	}
+	s.ingested.Add(uint64(n))
+	s.hub.samplesIngested.Add(uint64(n))
+	return len(samples), nil
+}
+
+func (s *Session) drop(n int64) {
+	s.dropped.Add(uint64(n))
+	s.hub.samplesDropped.Add(uint64(n))
+}
+
+// finishBatch is called by the shard goroutine after processing a batch.
+func (s *Session) finishBatch(n int64) {
+	s.pending.Add(-n)
+	s.qmu.Lock()
+	s.cond.Broadcast()
+	s.qmu.Unlock()
+}
+
+// wake releases Block-policy waiters (hub close / session removal).
+func (s *Session) wake() {
+	s.qmu.Lock()
+	s.cond.Broadcast()
+	s.qmu.Unlock()
+}
+
+func (s *Session) remove() {
+	s.removed.Store(true)
+	s.wake()
+}
+
+// process runs the batch through the detector. It executes only on the
+// session's shard goroutine — the detector is single-writer by
+// construction; mu is held so info() observes consistent state.
+func (s *Session) process(batch []pcm.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, smp := range batch {
+		for _, d := range s.det.Push(smp) {
+			s.fold(d)
+		}
+	}
+}
+
+// fold absorbs one decision: counters, incident tracking, alarm
+// transition fan-out. Caller holds s.mu.
+func (s *Session) fold(d core.Decision) {
+	s.decisions++
+	s.hub.decisionsTotal.Inc()
+	if s.hub.cfg.RecordDecisions {
+		s.recorded = append(s.recorded, d)
+	}
+	if !s.tracker.observe(d) {
+		s.outOfOrder++
+		return
+	}
+	prev := s.alarmActive
+	s.alarmActive = d.Alarm
+	s.lastDecision = d
+	s.hasDecision = true
+	if d.Alarm != prev {
+		if d.Alarm {
+			s.alarmsRaised++
+			s.hub.alarmsRaised.Inc()
+		}
+		s.hub.publish(AlarmEvent{Session: s.id, Detector: s.det.Name(), Time: d.Time, Raised: d.Alarm})
+	}
+}
+
+// seal marks the session log final after hub shutdown has drained the
+// queues; any still-open incident stays flagged Open — truthfully "still
+// alarming when the stream ended".
+func (s *Session) seal() {
+	s.mu.Lock()
+	s.sealed = true
+	s.mu.Unlock()
+}
+
+// info snapshots the session.
+func (s *Session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := SessionInfo{
+		ID:           s.id,
+		Profile:      s.profile,
+		Detector:     s.det.Name(),
+		Shard:        s.shard.id,
+		Ingested:     s.ingested.Load(),
+		Dropped:      s.dropped.Load(),
+		Pending:      s.pending.Load(),
+		Decisions:    s.decisions,
+		OutOfOrder:   s.outOfOrder,
+		AlarmActive:  s.alarmActive,
+		AlarmsRaised: s.alarmsRaised,
+		Incidents:    s.tracker.merged(s.hub.cfg.MergeGap),
+		State:        core.SnapshotDetector(s.det),
+	}
+	if s.hasDecision {
+		d := s.lastDecision
+		in.LastDecision = &d
+	}
+	return in
+}
+
+func (s *Session) recordedDecisions() []core.Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Decision(nil), s.recorded...)
+}
+
+func errRemoved(id string) error { return fmt.Errorf("stream: session %q closed", id) }
+
+// incidentTracker folds decisions into alarm episodes one at a time,
+// with semantics identical to core.Incidents over the same stream (see
+// TestTrackerMatchesBatchIncidents). Out-of-order decisions — which
+// core.Incidents rejects wholesale — are skipped and reported so a live
+// session survives a misbehaving producer.
+type incidentTracker struct {
+	incidents []core.Incident
+	open      bool
+	last      float64
+	started   bool
+}
+
+// observe folds one decision and reports whether it was in order.
+func (t *incidentTracker) observe(d core.Decision) bool {
+	if t.started && d.Time < t.last {
+		return false
+	}
+	t.started = true
+	t.last = d.Time
+	switch {
+	case d.Alarm && !t.open:
+		t.incidents = append(t.incidents, core.Incident{Start: d.Time, End: d.Time, Open: true})
+		t.open = true
+	case d.Alarm && t.open:
+		t.incidents[len(t.incidents)-1].End = d.Time
+	case !d.Alarm && t.open:
+		t.incidents[len(t.incidents)-1].End = d.Time
+		t.incidents[len(t.incidents)-1].Open = false
+		t.open = false
+	}
+	return true
+}
+
+// episodes returns a copy of the raw (unmerged) incident log.
+func (t *incidentTracker) episodes() []core.Incident {
+	return append([]core.Incident(nil), t.incidents...)
+}
+
+// merged returns the incident log with flaps up to maxGap joined.
+func (t *incidentTracker) merged(maxGap float64) []core.Incident {
+	return core.MergeIncidents(t.episodes(), maxGap)
+}

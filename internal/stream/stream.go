@@ -1,0 +1,523 @@
+// Package stream turns the batch detectors of internal/core into an
+// always-on, multi-tenant detection service: the serving layer a
+// hypervisor would run, with one detection session per protected VM.
+//
+// A Hub manages many named sessions. Each session owns its own detector
+// pipeline (any core.Detector, built from a registered profile) and is
+// pinned to one worker shard by a hash of its name, so every detector has
+// exactly one writer goroutine and needs no locking on the hot path.
+// Producers hand sample batches to Ingest; bounded per-session queues
+// with an explicit policy (shed load or block) keep a slow detector from
+// taking the hub down. Decisions fold incrementally into incident
+// episodes with the same semantics as core.Incidents, and alarm
+// transitions fan out to subscriber channels.
+//
+// Ordering: samples of one session are processed in the order Ingest
+// accepted them. With several concurrent producers for the *same*
+// session, the inter-batch order is whichever producer enqueues first —
+// one producer per session (one VM, one PCM stream) is the intended
+// shape, matching the paper's threat model.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memdos/internal/core"
+	"memdos/internal/metrics"
+	"memdos/internal/pcm"
+)
+
+// Policy selects what Ingest does when a session's queue is full.
+type Policy int
+
+const (
+	// DropNewest sheds load: the incoming batch is dropped and counted.
+	// This is the deploy-default — a detection service must never stall
+	// the hypervisor's sampling loop.
+	DropNewest Policy = iota
+	// Block applies backpressure: Ingest waits until the queue has room
+	// (or the hub closes). Use for offline replay and tests that must
+	// not lose samples.
+	Block
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config sizes a Hub.
+type Config struct {
+	// Shards is the number of worker goroutines. Sessions are pinned to
+	// shards by name hash. <= 0 means one shard per CPU.
+	Shards int
+	// QueueCap bounds each session's pending (accepted, not yet
+	// processed) samples. <= 0 means 4096. The cap is approximate when
+	// several producers ingest one session concurrently.
+	QueueCap int
+	// ShardBuffer is each shard's work-channel capacity in batches.
+	// <= 0 means 256.
+	ShardBuffer int
+	// Policy is the full-queue behaviour.
+	Policy Policy
+	// MergeGap joins incident episodes separated by at most this many
+	// seconds in session views (core.MergeIncidents); 0 merges only
+	// touching episodes.
+	MergeGap float64
+	// RecordDecisions keeps every decision in memory per session, for
+	// offline scoring and equivalence tests. Leave off in production —
+	// the log grows without bound.
+	RecordDecisions bool
+}
+
+// DefaultConfig returns the deploy-default hub sizing.
+func DefaultConfig() Config {
+	return Config{QueueCap: 4096, ShardBuffer: 256, Policy: DropNewest, MergeGap: 2}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = numShards()
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.ShardBuffer <= 0 {
+		c.ShardBuffer = 256
+	}
+	return c
+}
+
+// DetectorFactory builds one session's detector pipeline. It is called
+// once per session so every session gets private state.
+type DetectorFactory func() (core.Detector, error)
+
+// work is one unit handed to a shard: either a sample batch for a
+// session, or a flush barrier.
+type work struct {
+	sess    *Session
+	samples []pcm.Sample
+	flush   chan<- struct{}
+}
+
+// shard is one worker goroutine plus its queue and counters.
+type shard struct {
+	id        int
+	work      chan work
+	done      chan struct{}
+	pending   atomic.Int64 // samples accepted but not yet processed
+	busyNanos atomic.Int64
+	batches   atomic.Int64
+}
+
+// Hub is the multi-tenant streaming detection service.
+type Hub struct {
+	cfg    Config
+	shards []*shard
+
+	mu       sync.RWMutex
+	profiles map[string]DetectorFactory
+	sessions map[string]*Session
+	closed   bool
+	closing  atomic.Bool // readable without mu, for cond waiters
+	ingestWG sync.WaitGroup
+
+	samplesIngested   metrics.Counter
+	samplesDropped    metrics.Counter
+	decisionsTotal    metrics.Counter
+	alarmsRaised      metrics.Counter
+	subscriberDropped metrics.Counter
+
+	subMu   sync.Mutex
+	subs    map[int]chan AlarmEvent
+	nextSub int
+}
+
+// NewHub starts the worker shards and returns the hub.
+func NewHub(cfg Config) *Hub {
+	cfg = cfg.withDefaults()
+	h := &Hub{
+		cfg:      cfg,
+		profiles: make(map[string]DetectorFactory),
+		sessions: make(map[string]*Session),
+		subs:     make(map[int]chan AlarmEvent),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, work: make(chan work, cfg.ShardBuffer), done: make(chan struct{})}
+		h.shards = append(h.shards, sh)
+		go h.runShard(sh)
+	}
+	return h
+}
+
+// ErrClosed is returned by operations on a closed hub.
+var ErrClosed = fmt.Errorf("stream: hub closed")
+
+// RegisterProfile makes a named detector pipeline available to sessions.
+func (h *Hub) RegisterProfile(name string, f DetectorFactory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("stream: profile needs a name and a factory")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if _, dup := h.profiles[name]; dup {
+		return fmt.Errorf("stream: profile %q already registered", name)
+	}
+	h.profiles[name] = f
+	return nil
+}
+
+// Profiles lists the registered profile names, sorted.
+func (h *Hub) Profiles() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.profiles))
+	for name := range h.profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open creates a session for one protected VM, building its private
+// detector pipeline from the named profile.
+func (h *Hub) Open(sessionID, profile string) error {
+	if err := validSessionID(sessionID); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if _, dup := h.sessions[sessionID]; dup {
+		return fmt.Errorf("stream: session %q already open", sessionID)
+	}
+	f, ok := h.profiles[profile]
+	if !ok {
+		return fmt.Errorf("stream: unknown profile %q", profile)
+	}
+	det, err := f()
+	if err != nil {
+		return fmt.Errorf("stream: profile %q: %w", profile, err)
+	}
+	s := newSession(h, sessionID, profile, det, h.shardFor(sessionID))
+	h.sessions[sessionID] = s
+	return nil
+}
+
+// CloseSession removes the session from the hub. Samples already
+// accepted are still processed; further Ingest calls for the id fail.
+func (h *Hub) CloseSession(sessionID string) error {
+	h.mu.Lock()
+	s, ok := h.sessions[sessionID]
+	if ok {
+		delete(h.sessions, sessionID)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("stream: no session %q", sessionID)
+	}
+	s.remove()
+	return nil
+}
+
+// Ingest hands a batch of one session's PCM samples to its shard. It
+// returns how many samples were accepted (all or none, per the queue
+// policy). The batch is copied; the caller may reuse the slice.
+func (h *Hub) Ingest(sessionID string, samples []pcm.Sample) (int, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	s, ok := h.sessions[sessionID]
+	if !ok {
+		h.mu.RUnlock()
+		return 0, fmt.Errorf("stream: no session %q", sessionID)
+	}
+	h.ingestWG.Add(1)
+	h.mu.RUnlock()
+	defer h.ingestWG.Done()
+	return s.enqueue(samples)
+}
+
+// Drain blocks until every sample accepted before the call has been
+// processed. Concurrent producers may enqueue more; Drain is a barrier,
+// not a freeze.
+func (h *Hub) Drain() error {
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		return ErrClosed
+	}
+	h.ingestWG.Add(1)
+	h.mu.RUnlock()
+	defer h.ingestWG.Done()
+
+	acks := make(chan struct{}, len(h.shards))
+	for _, sh := range h.shards {
+		sh.work <- work{flush: acks}
+	}
+	for range h.shards {
+		<-acks
+	}
+	return nil
+}
+
+// Close shuts the hub down gracefully: new ingests are refused, queued
+// samples drain through the detectors, open incidents are sealed into
+// the session logs, and subscriber channels close. Close is idempotent.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.closing.Store(true)
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+
+	// Wake Block-policy waiters so in-flight ingests can fail fast.
+	for _, s := range sessions {
+		s.wake()
+	}
+	h.ingestWG.Wait()
+	for _, sh := range h.shards {
+		close(sh.work) // the range loop drains buffered batches first
+	}
+	for _, sh := range h.shards {
+		<-sh.done
+	}
+	for _, s := range sessions {
+		s.seal()
+	}
+	h.subMu.Lock()
+	for id, ch := range h.subs {
+		close(ch)
+		delete(h.subs, id)
+	}
+	h.subMu.Unlock()
+	return nil
+}
+
+// runShard is the single writer for every session pinned to sh.
+func (h *Hub) runShard(sh *shard) {
+	defer close(sh.done)
+	for w := range sh.work {
+		if w.flush != nil {
+			w.flush <- struct{}{}
+			continue
+		}
+		start := time.Now()
+		w.sess.process(w.samples)
+		sh.busyNanos.Add(time.Since(start).Nanoseconds())
+		sh.batches.Add(1)
+		n := int64(len(w.samples))
+		sh.pending.Add(-n)
+		w.sess.finishBatch(n)
+	}
+}
+
+// shardFor pins a session name to a shard with FNV-1a.
+func (h *Hub) shardFor(id string) *shard {
+	hash := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		hash = (hash ^ uint32(id[i])) * 16777619
+	}
+	return h.shards[int(hash%uint32(len(h.shards)))]
+}
+
+// Session returns a point-in-time view of one session.
+func (h *Hub) Session(sessionID string) (SessionInfo, bool) {
+	h.mu.RLock()
+	s, ok := h.sessions[sessionID]
+	h.mu.RUnlock()
+	if !ok {
+		return SessionInfo{}, false
+	}
+	return s.info(), true
+}
+
+// Sessions returns a view of every open session, sorted by id.
+func (h *Hub) Sessions() []SessionInfo {
+	h.mu.RLock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.RUnlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Decisions returns the recorded decision log of one session (nil unless
+// Config.RecordDecisions is on).
+func (h *Hub) Decisions(sessionID string) []core.Decision {
+	h.mu.RLock()
+	s, ok := h.sessions[sessionID]
+	h.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return s.recordedDecisions()
+}
+
+// Subscribe registers an alarm listener. Events are delivered best-effort:
+// when the buffer is full the event is counted as dropped, never blocking
+// a shard. cancel unsubscribes; the channel closes on cancel or hub Close.
+func (h *Hub) Subscribe(buffer int) (<-chan AlarmEvent, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan AlarmEvent, buffer)
+	h.subMu.Lock()
+	if h.closing.Load() {
+		h.subMu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := h.nextSub
+	h.nextSub++
+	h.subs[id] = ch
+	h.subMu.Unlock()
+	cancel := func() {
+		h.subMu.Lock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+		h.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish fans one alarm transition out to every subscriber.
+func (h *Hub) publish(ev AlarmEvent) {
+	h.subMu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.subscriberDropped.Inc()
+		}
+	}
+	h.subMu.Unlock()
+}
+
+// HubStats is a programmatic snapshot of the hub counters.
+type HubStats struct {
+	Sessions          int
+	SamplesIngested   uint64
+	SamplesDropped    uint64
+	Decisions         uint64
+	AlarmsRaised      uint64
+	SubscriberDropped uint64
+	QueueDepth        int64
+}
+
+// Stats snapshots the hub counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.RLock()
+	n := len(h.sessions)
+	h.mu.RUnlock()
+	var depth int64
+	for _, sh := range h.shards {
+		depth += sh.pending.Load()
+	}
+	return HubStats{
+		Sessions:          n,
+		SamplesIngested:   h.samplesIngested.Value(),
+		SamplesDropped:    h.samplesDropped.Value(),
+		Decisions:         h.decisionsTotal.Value(),
+		AlarmsRaised:      h.alarmsRaised.Value(),
+		SubscriberDropped: h.subscriberDropped.Value(),
+		QueueDepth:        depth,
+	}
+}
+
+// RegisterMetrics exposes the hub counters, per-shard queue depths and
+// per-shard busy time on a metrics registry (the /metrics endpoint).
+func (h *Hub) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("memdos_stream_samples_ingested_total",
+		"PCM samples accepted by Ingest.", &h.samplesIngested)
+	reg.RegisterCounter("memdos_stream_samples_dropped_total",
+		"PCM samples shed by the queue policy.", &h.samplesDropped)
+	reg.RegisterCounter("memdos_stream_decisions_total",
+		"Detector decisions produced.", &h.decisionsTotal)
+	reg.RegisterCounter("memdos_stream_alarms_raised_total",
+		"Alarm raise transitions across all sessions.", &h.alarmsRaised)
+	reg.RegisterCounter("memdos_stream_subscriber_dropped_total",
+		"Alarm events dropped on full subscriber buffers.", &h.subscriberDropped)
+	reg.RegisterGaugeFunc("memdos_stream_sessions",
+		"Open detection sessions.", func() []metrics.Point {
+			h.mu.RLock()
+			n := len(h.sessions)
+			h.mu.RUnlock()
+			return []metrics.Point{{Value: float64(n)}}
+		})
+	reg.RegisterGaugeFunc("memdos_stream_queue_depth",
+		"Samples accepted but not yet processed, per shard.", func() []metrics.Point {
+			pts := make([]metrics.Point, len(h.shards))
+			for i, sh := range h.shards {
+				pts[i] = metrics.Point{Labels: fmt.Sprintf("shard=%q", fmt.Sprint(sh.id)), Value: float64(sh.pending.Load())}
+			}
+			return pts
+		})
+	reg.RegisterCounterFunc("memdos_stream_shard_busy_seconds_total",
+		"Detector processing time, per shard.", func() []metrics.Point {
+			pts := make([]metrics.Point, len(h.shards))
+			for i, sh := range h.shards {
+				pts[i] = metrics.Point{Labels: fmt.Sprintf("shard=%q", fmt.Sprint(sh.id)), Value: float64(sh.busyNanos.Load()) / 1e9}
+			}
+			return pts
+		})
+	reg.RegisterCounterFunc("memdos_stream_shard_batches_total",
+		"Sample batches processed, per shard.", func() []metrics.Point {
+			pts := make([]metrics.Point, len(h.shards))
+			for i, sh := range h.shards {
+				pts[i] = metrics.Point{Labels: fmt.Sprintf("shard=%q", fmt.Sprint(sh.id)), Value: float64(sh.batches.Load())}
+			}
+			return pts
+		})
+}
+
+// validSessionID bounds session names for use as map keys, URL path
+// elements and metric labels.
+func validSessionID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("stream: session id must be 1-128 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c == 0x7f || c == '/' || c == '"' {
+			return fmt.Errorf("stream: session id %q contains forbidden byte %q", id, c)
+		}
+	}
+	return nil
+}

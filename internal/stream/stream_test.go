@@ -1,0 +1,416 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"memdos/internal/core"
+	"memdos/internal/metrics"
+	"memdos/internal/pcm"
+	"memdos/internal/sim"
+)
+
+// testProfile is a synthetic attack-free profile: counters hover around
+// access=100, miss=10.
+func testProfile() core.Profile {
+	return core.Profile{AccessMean: 100, AccessStd: 5, MissMean: 10, MissStd: 2}
+}
+
+// fastParams shrinks the Table I windows so alarms trigger within tens of
+// samples instead of thousands.
+func fastParams() core.Params {
+	p := core.DefaultParams()
+	p.W, p.DW, p.HC, p.Alpha = 20, 10, 2, 0.5
+	return p
+}
+
+func sdsbFactory(p core.Params) DetectorFactory {
+	return func() (core.Detector, error) { return core.NewSDSB(testProfile(), p) }
+}
+
+// sessionSamples generates a deterministic per-session stream: clean
+// around the profile for the first half, collapsed AccessNum (as under
+// bus locking) for the second.
+func sessionSamples(seed uint64, n int) []pcm.Sample {
+	r := sim.NewRNG(seed)
+	out := make([]pcm.Sample, n)
+	for i := range out {
+		access := 100 + 4*math.Sin(float64(i)/9) + r.Float64()
+		miss := 10 + r.Float64()
+		if i >= n/2 {
+			access *= 0.3 // attack: bus locking collapses AccessNum
+		}
+		out[i] = pcm.Sample{Time: 0.01 * float64(i+1), AccessNum: access, MissNum: miss}
+	}
+	return out
+}
+
+func newTestHub(t *testing.T, cfg Config, p core.Params) *Hub {
+	t.Helper()
+	h := NewHub(cfg)
+	t.Cleanup(func() { h.Close() })
+	if err := h.RegisterProfile("sdsb", sdsbFactory(p)); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestOpenIngestInfo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Block
+	h := newTestHub(t, cfg, fastParams())
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	samples := sessionSamples(1, 200)
+	n, err := h.Ingest("vm-1", samples)
+	if err != nil || n != len(samples) {
+		t.Fatalf("Ingest = %d, %v", n, err)
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	in, ok := h.Session("vm-1")
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if in.Ingested != 200 || in.Pending != 0 || in.Dropped != 0 {
+		t.Errorf("info = %+v", in)
+	}
+	if in.Detector != "SDS/B" || in.Profile != "sdsb" {
+		t.Errorf("identity = %q/%q", in.Detector, in.Profile)
+	}
+	if in.Decisions == 0 || in.LastDecision == nil {
+		t.Errorf("no decisions surfaced: %+v", in)
+	}
+	if in.State == nil {
+		t.Error("no detector state snapshot")
+	}
+	if !in.AlarmActive || len(in.Incidents) == 0 {
+		t.Errorf("attack half not alarming: active=%v incidents=%v", in.AlarmActive, in.Incidents)
+	}
+	st := h.Stats()
+	if st.Sessions != 1 || st.SamplesIngested != 200 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := newTestHub(t, DefaultConfig(), fastParams())
+	if _, err := h.Ingest("nope", sessionSamples(1, 10)); err == nil {
+		t.Error("ingest into unknown session accepted")
+	}
+	if err := h.Open("vm-1", "nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := h.Open("", "sdsb"); err == nil {
+		t.Error("empty session id accepted")
+	}
+	if err := h.Open("bad/id", "sdsb"); err == nil {
+		t.Error("slash in session id accepted")
+	}
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Open("vm-1", "sdsb"); err == nil {
+		t.Error("duplicate session accepted")
+	}
+	if err := h.RegisterProfile("sdsb", sdsbFactory(fastParams())); err == nil {
+		t.Error("duplicate profile accepted")
+	}
+}
+
+// TestStressEquivalence is the acceptance stress test: >= 100k samples
+// across >= 32 concurrent sessions, and every session's decision stream
+// must be identical to feeding the same samples to the batch detector
+// sequentially.
+func TestStressEquivalence(t *testing.T) {
+	const (
+		nSessions = 32
+		perSess   = 3200 // 32 * 3200 = 102,400 samples
+		batchLen  = 80
+	)
+	p := core.DefaultParams() // real Table I windows
+	cfg := Config{Shards: 4, QueueCap: 512, ShardBuffer: 64, Policy: Block, RecordDecisions: true}
+	h := newTestHub(t, cfg, p)
+
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = "vm-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := h.Open(ids[i], "sdsb"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			samples := sessionSamples(uint64(i+1), perSess)
+			for off := 0; off < len(samples); off += batchLen {
+				end := off + batchLen
+				if end > len(samples) {
+					end = len(samples)
+				}
+				if _, err := h.Ingest(id, samples[off:end]); err != nil {
+					t.Errorf("%s: %v", id, err)
+					return
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := h.Stats()
+	if st.SamplesIngested != nSessions*perSess || st.SamplesDropped != 0 {
+		t.Fatalf("ingested %d dropped %d", st.SamplesIngested, st.SamplesDropped)
+	}
+
+	for i, id := range ids {
+		got := h.Decisions(id)
+		ref, err := core.NewSDSB(testProfile(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []core.Decision
+		for _, s := range sessionSamples(uint64(i+1), perSess) {
+			want = append(want, ref.Push(s)...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: streaming decisions diverge from batch (%d vs %d decisions)", id, len(got), len(want))
+		}
+		// The incremental incident log must equal the batch fold too.
+		batchIncs, err := core.Incidents(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _ := h.Session(id)
+		if !reflect.DeepEqual(in.Incidents, core.MergeIncidents(batchIncs, h.cfg.MergeGap)) {
+			t.Fatalf("%s: incident log diverges", id)
+		}
+	}
+}
+
+func TestDropPolicy(t *testing.T) {
+	cfg := Config{Shards: 1, QueueCap: 64, ShardBuffer: 1, Policy: DropNewest}
+	h := newTestHub(t, cfg, fastParams())
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	samples := sessionSamples(3, 2000)
+	sent, accepted := 0, 0
+	for off := 0; off+100 <= len(samples); off += 100 {
+		n, err := h.Ingest("vm-1", samples[off:off+100])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += 100
+		accepted += n
+	}
+	h.Drain()
+	in, _ := h.Session("vm-1")
+	if in.Ingested+in.Dropped != uint64(sent) {
+		t.Errorf("accounting: ingested %d + dropped %d != sent %d", in.Ingested, in.Dropped, sent)
+	}
+	if int(in.Ingested) != accepted {
+		t.Errorf("accepted %d vs ingested %d", accepted, in.Ingested)
+	}
+	// A tiny queue with a 1-batch shard buffer must shed something under
+	// a 2000-sample burst.
+	if in.Dropped == 0 {
+		t.Error("expected drops under burst with QueueCap=64")
+	}
+	if h.Stats().SamplesDropped != in.Dropped {
+		t.Error("hub/session drop counters disagree")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Block
+	h := newTestHub(t, cfg, fastParams())
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := h.Subscribe(16)
+	defer cancel()
+
+	n := 400
+	samples := sessionSamples(5, n) // alarm in the attacked second half
+	if _, err := h.Ingest("vm-1", samples); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	// Recovery: clean samples again -> alarm clears.
+	r := sim.NewRNG(99)
+	var clean []pcm.Sample
+	for i := 0; i < n; i++ {
+		clean = append(clean, pcm.Sample{
+			Time:      0.01*float64(n) + 0.01*float64(i+1),
+			AccessNum: 100 + r.Float64(),
+			MissNum:   10 + r.Float64(),
+		})
+	}
+	if _, err := h.Ingest("vm-1", clean); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+
+	var raised, cleared int
+	for done := false; !done; {
+		select {
+		case ev := <-events:
+			if ev.Session != "vm-1" || ev.Detector != "SDS/B" {
+				t.Errorf("event = %+v", ev)
+			}
+			if ev.Raised {
+				raised++
+			} else {
+				cleared++
+			}
+		default:
+			done = true
+		}
+	}
+	if raised == 0 || cleared == 0 {
+		t.Errorf("raised=%d cleared=%d, want both > 0", raised, cleared)
+	}
+}
+
+func TestCloseDrainsAndRefuses(t *testing.T) {
+	cfg := Config{Shards: 2, QueueCap: 8192, ShardBuffer: 128, Policy: Block, RecordDecisions: true}
+	h := NewHub(cfg)
+	if err := h.RegisterProfile("sdsb", sdsbFactory(fastParams())); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	samples := sessionSamples(7, 1000)
+	if _, err := h.Ingest("vm-1", samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drained: every queued sample reached the detector.
+	ref, _ := core.NewSDSB(testProfile(), fastParams())
+	var want []core.Decision
+	for _, s := range samples {
+		want = append(want, ref.Push(s)...)
+	}
+	if got := h.Decisions("vm-1"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("decisions after Close: got %d want %d", len(got), len(want))
+	}
+	if _, err := h.Ingest("vm-1", samples); err == nil {
+		t.Error("ingest accepted after Close")
+	}
+	if err := h.Open("vm-2", "sdsb"); err == nil {
+		t.Error("open accepted after Close")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestCloseSession(t *testing.T) {
+	h := newTestHub(t, DefaultConfig(), fastParams())
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CloseSession("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Session("vm-1"); ok {
+		t.Error("closed session still listed")
+	}
+	if _, err := h.Ingest("vm-1", sessionSamples(1, 10)); err == nil {
+		t.Error("ingest into closed session accepted")
+	}
+	if err := h.CloseSession("vm-1"); err == nil {
+		t.Error("double close accepted")
+	}
+	// The id can be reused with a fresh pipeline.
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrackerMatchesBatchIncidents pins the incremental tracker to
+// core.Incidents over random in-order decision streams.
+func TestTrackerMatchesBatchIncidents(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := sim.NewRNG(seed)
+		var ds []core.Decision
+		var tr incidentTracker
+		tm := 0.0
+		for i := 0; i < 200; i++ {
+			tm += 0.5
+			d := core.Decision{Time: tm, Alarm: r.Bool(0.4)}
+			ds = append(ds, d)
+			if !tr.observe(d) {
+				t.Fatalf("seed %d: in-order decision reported out of order", seed)
+			}
+		}
+		want, err := core.Incidents(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.episodes(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: tracker %v != batch %v", seed, got, want)
+		}
+	}
+}
+
+func TestTrackerSkipsOutOfOrder(t *testing.T) {
+	var tr incidentTracker
+	if !tr.observe(core.Decision{Time: 2, Alarm: true}) {
+		t.Fatal("first decision rejected")
+	}
+	if tr.observe(core.Decision{Time: 1, Alarm: false}) {
+		t.Fatal("backwards decision accepted")
+	}
+	if !tr.observe(core.Decision{Time: 3, Alarm: false}) {
+		t.Fatal("resumed decision rejected")
+	}
+	if incs := tr.episodes(); len(incs) != 1 || incs[0].Open {
+		t.Fatalf("episodes = %v", incs)
+	}
+}
+
+func TestHubMetricsExposition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Block
+	h := newTestHub(t, cfg, fastParams())
+	reg := metrics.NewRegistry()
+	h.RegisterMetrics(reg)
+	if err := h.Open("vm-1", "sdsb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Ingest("vm-1", sessionSamples(1, 300)); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"memdos_stream_samples_ingested_total 300",
+		"memdos_stream_sessions 1",
+		"memdos_stream_queue_depth{shard=\"0\"}",
+		"# TYPE memdos_stream_decisions_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"memdos/internal/experiments"
 	"memdos/internal/metrics"
 	"memdos/internal/pcm"
+	"memdos/internal/stream"
 	"memdos/internal/vmm"
 	"memdos/internal/workload"
 )
@@ -104,6 +105,59 @@ var (
 	Incidents = core.Incidents
 	// MergeIncidents joins episodes separated by short gaps.
 	MergeIncidents = core.MergeIncidents
+)
+
+// Detector state management (live serving support).
+type (
+	// Resetter is implemented by detectors whose state can be cleared in
+	// place (e.g. after a VM migration invalidates history).
+	Resetter = core.Resetter
+	// Snapshotter is implemented by detectors exposing internal state for
+	// inspection.
+	Snapshotter = core.Snapshotter
+)
+
+var (
+	// ResetDetector clears a detector's state if it supports Reset.
+	ResetDetector = core.ResetDetector
+	// SnapshotDetector returns a detector's state snapshot, or nil.
+	SnapshotDetector = core.SnapshotDetector
+)
+
+// Always-on streaming detection service (internal/stream, served by
+// cmd/memdosd).
+type (
+	// StreamHub is the multi-tenant streaming detection hub.
+	StreamHub = stream.Hub
+	// StreamConfig configures a hub.
+	StreamConfig = stream.Config
+	// StreamPolicy is the full-queue backpressure policy.
+	StreamPolicy = stream.Policy
+	// StreamSessionInfo is a point-in-time view of one session.
+	StreamSessionInfo = stream.SessionInfo
+	// AlarmEvent is one alarm raise/clear delivered to subscribers.
+	AlarmEvent = stream.AlarmEvent
+	// IngestRequest is the wire form of a batched ingest call.
+	IngestRequest = stream.IngestRequest
+	// IngestBatch is one session's samples within an IngestRequest.
+	IngestBatch = stream.IngestBatch
+)
+
+// Full-queue policies.
+const (
+	// StreamDropNewest drops incoming samples when a session queue is full.
+	StreamDropNewest = stream.DropNewest
+	// StreamBlock applies backpressure to the producer instead.
+	StreamBlock = stream.Block
+)
+
+var (
+	// NewStreamHub builds a streaming hub and starts its worker shards.
+	NewStreamHub = stream.NewHub
+	// DefaultStreamConfig returns serving defaults.
+	DefaultStreamConfig = stream.DefaultConfig
+	// DecodeIngest parses and validates a JSON ingest request body.
+	DecodeIngest = stream.DecodeIngest
 )
 
 // Simulated testbed (substrates).
