@@ -9,12 +9,14 @@ package memdos_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
 	"memdos/internal/core"
 	"memdos/internal/experiments"
 	"memdos/internal/pcm"
+	"memdos/internal/respond"
 	"memdos/internal/stream"
 	"memdos/internal/workload"
 )
@@ -425,4 +427,84 @@ func BenchmarkAblationMicrosimVsFast(b *testing.B) {
 	}
 	b.ReportMetric(micro, "microsim_inflation")
 	b.ReportMetric(fast, "fastmodel_inflation")
+}
+
+// respondBenchActuator hands each throttle application to the benchmark
+// loop so it can block until the action has landed.
+type respondBenchActuator struct{ applied chan float64 }
+
+func (a *respondBenchActuator) Throttle(_ string, duty float64) error {
+	a.applied <- duty
+	return nil
+}
+func (a *respondBenchActuator) Partition(string, bool) error { return nil }
+func (a *respondBenchActuator) Migrate(string) error         { return nil }
+
+// respondBenchDetector alarms exactly when MissNum is anomalous, so every
+// benchmark sample is one deterministic alarm transition.
+type respondBenchDetector struct{}
+
+func (respondBenchDetector) Name() string { return "flip" }
+func (respondBenchDetector) Push(s pcm.Sample) []core.Decision {
+	return []core.Decision{{Time: s.Time, Alarm: s.MissNum > 50}}
+}
+func (respondBenchDetector) Overhead() float64 { return 0 }
+
+// BenchmarkRespondLoop measures the end-to-end closed-loop cycle of the
+// mitigation path: sample ingest through the hub's detector, alarm
+// fan-out, the respond engine's policy step and the actuator call — then
+// the clear, hysteresis tick and release. ns/op is the full
+// alarm->throttle->clear->release round trip.
+func BenchmarkRespondLoop(b *testing.B) {
+	hub := stream.NewHub(stream.Config{Shards: 1, QueueCap: 1 << 12, ShardBuffer: 64, Policy: stream.Block})
+	defer hub.Close()
+	if err := hub.RegisterProfile("flip", func() (core.Detector, error) {
+		return respondBenchDetector{}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Open("vm-1", "flip"); err != nil {
+		b.Fatal(err)
+	}
+	act := &respondBenchActuator{applied: make(chan float64, 1)}
+	cfg := respond.Config{ThrottleDuties: []float64{0.5}, EscalateAfter: 1e9, ClearAfter: 1e-9}
+	eng, err := respond.New(cfg, act)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := respond.Attach(hub, eng, 64)
+	defer stop()
+
+	raise := []pcm.Sample{{AccessNum: 100, MissNum: 100}}
+	clear := []pcm.Sample{{AccessNum: 100, MissNum: 10}}
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		raise[0].Time = now
+		if _, err := hub.Ingest("vm-1", raise); err != nil {
+			b.Fatal(err)
+		}
+		if d := <-act.applied; d != 0.5 {
+			b.Fatalf("applied duty %v, want 0.5", d)
+		}
+		now++
+		clear[0].Time = now
+		if _, err := hub.Ingest("vm-1", clear); err != nil {
+			b.Fatal(err)
+		}
+		// The attach pump is asynchronous: wait until the engine has seen
+		// the clear before ticking the hysteresis forward.
+		for {
+			if st, ok := eng.State("vm-1"); ok && !st.AlarmActive {
+				break
+			}
+			runtime.Gosched()
+		}
+		now++
+		eng.Tick(now)
+		if d := <-act.applied; d != 0 {
+			b.Fatalf("release duty %v, want 0", d)
+		}
+	}
 }

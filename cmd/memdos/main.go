@@ -16,6 +16,7 @@
 //	memdos train    [-apps KM,BA,TS] [-epochs 10]
 //	memdos ablation -which raw|period|microsim
 //	memdos migration [-app KM] [-delay 60]
+//	memdos mitigate [-app KM] [-attack buslock] [-seed 7]
 package main
 
 import (
@@ -66,6 +67,8 @@ func main() {
 		err = cmdAblation(args)
 	case "migration":
 		err = cmdMigration(args)
+	case "mitigate":
+		err = cmdMitigate(args)
 	case "containers":
 		err = cmdContainers(args)
 	case "report":
@@ -99,6 +102,7 @@ commands:
   train      train the LSTM-FCN cascade and report accuracy
   ablation   design-choice ablations (raw threshold / period / microsim)
   migration  detect-and-migrate response study (why migration alone fails)
+  mitigate   closed-loop mitigation study (stream alarms -> respond engine)
   containers serverless/container future-work study (Sec. VIII)
   report     run the core experiment set, emit a markdown report`)
 }
@@ -417,6 +421,38 @@ func cmdMigration(args []string) error {
 	fmt.Printf("  victim mean speed, no response:  %.2f\n", res.MeanSpeedNoResponse)
 	fmt.Printf("  victim mean speed, migrating:    %.2f\n", res.MeanSpeedWithResponse)
 	fmt.Println("migration helps but cannot defeat the attack: the adversary re-co-locates (Sec. II).")
+	return nil
+}
+
+func cmdMitigate(args []string) error {
+	fs := flag.NewFlagSet("mitigate", flag.ExitOnError)
+	app := fs.String("app", "KM", "application")
+	atk := fs.String("attack", "buslock", "attack kind (buslock|cleansing)")
+	seed := fs.Uint64("seed", 7, "run seed")
+	start := fs.Float64("start", 30, "attack co-location time (s)")
+	delay := fs.Float64("delay", 120, "attacker re-co-location delay after migration (s)")
+	fs.Parse(args)
+	mode, err := parseMode(*atk)
+	if err != nil {
+		return err
+	}
+	if mode == experiments.NoAttack {
+		return fmt.Errorf("mitigate needs an attack (buslock|cleansing)")
+	}
+	spec := experiments.DefaultClosedLoopSpec(*app, mode, *seed)
+	spec.AttackStart = *start
+	spec.RelocationDelay = *delay
+	res, err := experiments.ClosedLoop(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closed-loop mitigation of %v on %s (SDS -> respond engine):\n", mode, res.App)
+	fmt.Printf("  completion time, attack-free:    %7.1fs\n", res.CleanTime)
+	fmt.Printf("  completion time, no mitigation:  %7.1fs  (normalized %.2f)\n", res.AttackedTime, res.AttackedNormalized)
+	fmt.Printf("  completion time, closed loop:    %7.1fs  (normalized %.2f)\n", res.MitigatedTime, res.MitigatedNormalized)
+	fmt.Printf("  slowdown recovered:              %6.0f%%\n", 100*res.Recovered)
+	fmt.Printf("  alarms %d, peak rung %d, throttles %d, partitions %d, migrations %d\n",
+		res.Alarms, res.PeakLevel, res.Stats.Throttles, res.Stats.Partitions, res.Stats.Migrations)
 	return nil
 }
 

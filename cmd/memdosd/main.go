@@ -9,6 +9,16 @@
 //
 //	memdosd [-addr :9464] [-apps KM,FN] [-profile-dur 120]
 //	        [-shards 0] [-queue 4096] [-policy drop|block] [-merge-gap 2]
+//	        [-respond] [-respond-tick 1s]
+//
+// With -respond the daemon attaches a closed-loop mitigation engine
+// (internal/respond) to the hub's alarm feed: alarm raises walk the
+// suspect VM up a graduated throttle/partition/migrate ladder, clears
+// back off with hysteresis. Stand-alone the engine drives a recording
+// actuator — would-be actions are inspectable under GET /v1/responses
+// and adjustable via POST /v1/responses/{vm}/override
+// ({"mode":"pause"|"resume"|"force","level":N}); embedders wire a real
+// hypervisor through respond.Actuator.
 //
 // Detector profiles available to sessions:
 //
@@ -40,6 +50,7 @@ import (
 
 	"memdos/internal/core"
 	"memdos/internal/experiments"
+	"memdos/internal/respond"
 	"memdos/internal/stream"
 )
 
@@ -59,6 +70,8 @@ func run(args []string) error {
 	queue := fs.Int("queue", 4096, "per-session queue capacity in samples")
 	policy := fs.String("policy", "drop", "full-queue policy: drop | block")
 	mergeGap := fs.Float64("merge-gap", 2, "merge incident episodes separated by <= this many seconds")
+	respondOn := fs.Bool("respond", false, "attach the closed-loop mitigation engine to the alarm feed")
+	respondTick := fs.Duration("respond-tick", time.Second, "hysteresis tick interval for the mitigation engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +94,19 @@ func run(args []string) error {
 		return err
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(hub)}
+	var eng *respond.Engine
+	if *respondOn {
+		var err error
+		if eng, err = respond.New(respond.DefaultConfig(), respond.NewLogActuator()); err != nil {
+			return err
+		}
+		detach := respond.Attach(hub, eng, 256)
+		defer detach()
+		stopTicker := tickFromDecisions(hub, eng, *respondTick)
+		defer stopTicker()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(hub, eng)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -113,6 +138,34 @@ func run(args []string) error {
 	fmt.Printf("memdosd: bye (%d samples ingested, %d dropped, %d alarms raised)\n",
 		st.SamplesIngested, st.SamplesDropped, st.AlarmsRaised)
 	return nil
+}
+
+// tickFromDecisions periodically advances the mitigation engine's clock
+// to the newest decision timestamp seen on the hub, so hysteresis
+// back-off progresses even while the alarm feed is quiet (alarm events
+// only fire on transitions). The engine stays in sample time — the
+// daemon never feeds it the wall clock.
+func tickFromDecisions(hub *stream.Hub, eng *respond.Engine, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				latest := eng.Now()
+				for _, in := range hub.Sessions() {
+					if in.LastDecision != nil && in.LastDecision.Time > latest {
+						latest = in.LastDecision.Time
+					}
+				}
+				eng.Tick(latest)
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 func splitApps(s string) []string {

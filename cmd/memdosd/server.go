@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"memdos/internal/metrics"
+	"memdos/internal/respond"
 	"memdos/internal/stream"
 )
 
@@ -18,10 +19,13 @@ import (
 //	GET  /v1/sessions      list all sessions
 //	GET  /v1/sessions/{id} one session: detector state, open incidents
 //	DELETE /v1/sessions/{id}
+//	GET  /v1/responses     mitigation state per session (404 unless -respond)
+//	POST /v1/responses/{id}/override  operator pause/resume/force
 //	GET  /metrics          Prometheus text exposition of the hub counters
 //	GET  /healthz          liveness
 type server struct {
 	hub      *stream.Hub
+	eng      *respond.Engine // nil when the daemon runs detection-only
 	registry *metrics.Registry
 	mux      *http.ServeMux
 
@@ -30,14 +34,19 @@ type server struct {
 	autoOpen sync.Mutex
 }
 
-func newServer(hub *stream.Hub) *server {
-	s := &server{hub: hub, registry: metrics.NewRegistry(), mux: http.NewServeMux()}
+func newServer(hub *stream.Hub, eng *respond.Engine) *server {
+	s := &server{hub: hub, eng: eng, registry: metrics.NewRegistry(), mux: http.NewServeMux()}
 	hub.RegisterMetrics(s.registry)
+	if eng != nil {
+		eng.RegisterMetrics(s.registry)
+	}
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	s.mux.HandleFunc("GET /v1/responses", s.handleListResponses)
+	s.mux.HandleFunc("POST /v1/responses/{id}/override", s.handleOverride)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -147,7 +156,68 @@ func (s *server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	if s.eng != nil {
+		// Releases any mitigation still applied on the session's behalf.
+		s.eng.Forget(r.PathValue("id"))
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
+}
+
+func (s *server) handleListResponses(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("mitigation disabled (start memdosd with -respond)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ladder":   s.eng.Ladder(),
+		"sessions": s.eng.States(),
+	})
+}
+
+// overrideRequest is the operator override body: mode "pause" releases
+// the session's mitigation and ignores its alarms, "resume" returns it to
+// automatic policy, "force" pins it at the given ladder rung (level -1 =
+// unpin).
+type overrideRequest struct {
+	Mode  string `json:"mode"`
+	Level *int   `json:"level,omitempty"`
+}
+
+func (s *server) handleOverride(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("mitigation disabled (start memdosd with -respond)"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req overrideRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := r.PathValue("id")
+	var st respond.SessionState
+	var err error
+	switch req.Mode {
+	case "pause":
+		st, err = s.eng.Pause(id)
+	case "resume":
+		st, err = s.eng.Resume(id)
+	case "force":
+		if req.Level == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(`mode "force" needs a level`))
+			return
+		}
+		st, err = s.eng.Force(id, *req.Level)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (pause|resume|force)", req.Mode))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

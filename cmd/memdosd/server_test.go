@@ -9,9 +9,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"memdos/internal/core"
 	"memdos/internal/pcm"
+	"memdos/internal/respond"
 	"memdos/internal/stream"
 )
 
@@ -36,10 +38,34 @@ func newTestDaemon(t *testing.T) (*httptest.Server, *stream.Hub) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(hub))
+	ts := httptest.NewServer(newServer(hub, nil))
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() { hub.Close() })
 	return ts, hub
+}
+
+// newRespondDaemon is newTestDaemon with the mitigation engine attached,
+// the way run() wires it under -respond.
+func newRespondDaemon(t *testing.T) (*httptest.Server, *stream.Hub, *respond.Engine) {
+	t.Helper()
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block
+	hub := stream.NewHub(cfg)
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := respond.New(respond.DefaultConfig(), respond.NewLogActuator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach := respond.Attach(hub, eng, 64)
+	ts := httptest.NewServer(newServer(hub, eng))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { hub.Close() })
+	t.Cleanup(detach)
+	return ts, hub, eng
 }
 
 func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
@@ -235,6 +261,128 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if !in.AlarmActive || len(in.Incidents) == 0 {
 		t.Fatalf("final incident log empty: %+v", in)
+	}
+}
+
+// TestResponsesDisabled: without -respond the mitigation endpoints are
+// absent-by-policy, not routing 404s with empty bodies.
+func TestResponsesDisabled(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	resp, body := doJSON(t, "GET", ts.URL+"/v1/responses", nil)
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "-respond") {
+		t.Errorf("responses list while disabled: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/responses/vm-1/override",
+		map[string]string{"mode": "pause"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("override while disabled: %d", resp.StatusCode)
+	}
+}
+
+// TestResponsesEndpoints drives the full operator surface: an ingest that
+// raises an alarm mitigates the session, GET /v1/responses exposes it,
+// and overrides pause/force/resume it.
+func TestResponsesEndpoints(t *testing.T) {
+	ts, hub, eng := newRespondDaemon(t)
+
+	// The raw detector alarms on the AccessNum collapse halfway through.
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/ingest", ingestBody("vm-1", "raw", 100, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// The Attach pump is asynchronous: wait for the raise to land.
+	waitForLevel := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, ok := eng.State("vm-1"); ok && st.Level == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st, _ := eng.State("vm-1")
+		t.Fatalf("session never reached level %d: %+v", want, st)
+	}
+	waitForLevel(1)
+
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/responses", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("responses: %d %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Ladder   []string               `json:"ladder"`
+		Sessions []respond.SessionState `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Ladder) == 0 || len(list.Sessions) != 1 {
+		t.Fatalf("responses list = %+v", list)
+	}
+	if s := list.Sessions[0]; s.Session != "vm-1" || s.Level != 1 || s.LevelName != "throttle(0.25)" {
+		t.Fatalf("mitigated session = %+v", s)
+	}
+
+	// Operator overrides.
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/responses/vm-1/override",
+		map[string]string{"mode": "pause"})
+	var st respond.SessionState
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !st.Paused || st.Level != 0 {
+		t.Fatalf("pause: %d %+v", resp.StatusCode, st)
+	}
+	lvl := 2
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/responses/vm-1/override",
+		map[string]any{"mode": "force", "level": lvl})
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Forced != 2 || st.Level != 2 {
+		t.Fatalf("force: %d %+v", resp.StatusCode, st)
+	}
+	resp, body = doJSON(t, "POST", ts.URL+"/v1/responses/vm-1/override",
+		map[string]string{"mode": "resume"})
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Paused || st.Forced != respond.ForceNone {
+		t.Fatalf("resume: %d %+v", resp.StatusCode, st)
+	}
+
+	// Bad overrides.
+	for _, bad := range []any{
+		map[string]string{"mode": "explode"},
+		map[string]string{"mode": "force"}, // force without level
+		map[string]any{"mode": "force", "level": 99},
+	} {
+		if resp, _ = doJSON(t, "POST", ts.URL+"/v1/responses/vm-1/override", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("override %v: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Closing the detection session drops the response state with it.
+	if resp, _ = doJSON(t, "DELETE", ts.URL+"/v1/sessions/vm-1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete session: %d", resp.StatusCode)
+	}
+	if _, ok := eng.State("vm-1"); ok {
+		t.Error("engine still tracks the closed session")
+	}
+
+	// Engine counters are on /metrics.
+	_, body = doJSON(t, "GET", ts.URL+"/metrics", nil)
+	for _, want := range []string{
+		"memdos_respond_events_total",
+		"memdos_respond_throttle_actions_total",
+		"memdos_respond_overrides_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }
 

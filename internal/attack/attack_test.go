@@ -354,3 +354,38 @@ func TestSuppressorValidation(t *testing.T) {
 		t.Errorf("suppression shortened to %v", s.SuppressedUntil())
 	}
 }
+
+// TestSuppressorNeverShrinks is the regression test for overlapping
+// Suppress calls: an earlier horizon must not re-arm the attack inside a
+// longer suppression already in force (two mitigation responses racing —
+// e.g. the respond engine migrating twice — must compose to the longer
+// window).
+func TestSuppressorNeverShrinks(t *testing.T) {
+	s, err := NewSuppressor(Always{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Active(0) {
+		t.Fatal("unsuppressed attack inactive")
+	}
+	s.Suppress(100)
+	for _, earlier := range []float64{50, 99.999, 0, -10} {
+		s.Suppress(earlier)
+		if got := s.SuppressedUntil(); got != 100 {
+			t.Fatalf("Suppress(%v) shrank horizon to %v", earlier, got)
+		}
+		if s.Active(99) {
+			t.Fatalf("attack re-armed at t=99 after Suppress(%v)", earlier)
+		}
+	}
+	// The window edge is half-open: suppressed strictly before until.
+	if s.Active(99.999) || !s.Active(100) {
+		t.Errorf("suppression edge wrong: Active(99.999)=%v Active(100)=%v",
+			s.Active(99.999), s.Active(100))
+	}
+	// Extending remains possible after no-op shrink attempts.
+	s.Suppress(200)
+	if s.Active(150) || !s.Active(200) {
+		t.Errorf("extension failed: Active(150)=%v Active(200)=%v", s.Active(150), s.Active(200))
+	}
+}

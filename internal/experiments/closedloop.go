@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"memdos/internal/attack"
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+	"memdos/internal/respond"
+	"memdos/internal/stream"
+	"memdos/internal/vmm"
+	"memdos/internal/workload"
+)
+
+// The closed-loop mitigation experiment: the defender-daemon counterpart
+// of Fig. 14. Where Fig. 14 quantifies what always-on *detection* costs a
+// clean victim, ClosedLoop quantifies what detection-driven *response*
+// recovers for an attacked one. It co-locates a finite victim with a
+// persistent attacker, streams the victim's PCM samples through an SDS
+// session on a stream.Hub, and lets a respond.Engine drive the
+// hypervisor's graduated mitigation (throttle the suspect, partition,
+// migrate). The headline metric is the victim's normalized execution
+// time — completion time divided by the attack-free completion time —
+// with and without mitigation.
+
+// ClosedLoopSpec configures one closed-loop study.
+type ClosedLoopSpec struct {
+	App  string
+	Mode AttackMode
+	Seed uint64
+	// AttackStart is when the attacker first co-locates (seconds).
+	AttackStart float64
+	// RelocationDelay is how long a migration buys before the attacker
+	// re-co-locates (seconds).
+	RelocationDelay float64
+	// UtilityVMs co-locates this many benign utility VMs.
+	UtilityVMs int
+	// Respond parameterizes the mitigation ladder.
+	Respond respond.Config
+	// MaxDuration caps each run (0 = 20x the app's nominal runtime).
+	MaxDuration float64
+}
+
+// DefaultClosedLoopSpec returns a study of the given app and attack with
+// the default mitigation ladder. The partition rung is only enabled for
+// LLC cleansing — partitioning cannot contain a bus-locking attacker.
+func DefaultClosedLoopSpec(app string, mode AttackMode, seed uint64) ClosedLoopSpec {
+	rc := respond.DefaultConfig()
+	rc.EnablePartition = mode == Cleansing
+	return ClosedLoopSpec{
+		App:             app,
+		Mode:            mode,
+		Seed:            seed,
+		AttackStart:     30,
+		RelocationDelay: 120,
+		UtilityVMs:      3,
+		Respond:         rc,
+	}
+}
+
+// ClosedLoopResult reports the recovered performance.
+type ClosedLoopResult struct {
+	App  string
+	Mode AttackMode
+	// CleanTime is the victim's attack-free completion time.
+	CleanTime float64
+	// AttackedTime / MitigatedTime are completion times under attack
+	// with mitigation off / on. MitigatedTime includes the detector's
+	// hypervisor CPU cost (Fig. 14's overhead model), so the recovery is
+	// net of what the defense itself costs.
+	AttackedTime, MitigatedTime float64
+	// AttackedNormalized / MitigatedNormalized are the Fig. 14-style
+	// normalized execution times (1.0 = attack-free).
+	AttackedNormalized, MitigatedNormalized float64
+	// Recovered is the fraction of the attack-induced slowdown the
+	// closed loop gave back: (attacked - mitigated) / (attacked - 1).
+	Recovered float64
+	// Alarms counts alarm raise events during the mitigated run.
+	Alarms int
+	// PeakLevel is the highest mitigation rung reached.
+	PeakLevel int
+	// Engine counters from the mitigated run.
+	Stats respond.Stats
+}
+
+// loopActuator maps the respond engine's session-addressed actions onto
+// the simulated hypervisor: the suspect resolution is exact here (the
+// co-located attack VM); on real hardware it would come from per-VM
+// counter attribution.
+type loopActuator struct {
+	srv     *vmm.Server
+	suspect vmm.VMID
+	sched   *attack.Suppressor
+	delay   float64
+}
+
+func (a *loopActuator) Throttle(_ string, duty float64) error {
+	return a.srv.SetExecThrottle(a.suspect, duty)
+}
+
+func (a *loopActuator) Partition(_ string, on bool) error {
+	return a.srv.SetCachePartition(a.suspect, on)
+}
+
+// Migrate moves the victim to a fresh host: the attacker loses
+// co-residence and needs the relocation delay to find it again (the
+// Suppressor mechanics of MigrationStudy). The detector keeps running —
+// the profile remains valid on the new host.
+func (a *loopActuator) Migrate(_ string) error {
+	a.sched.Suppress(a.srv.Now() + a.delay)
+	return nil
+}
+
+// ClosedLoop runs the three-arm study (clean, attacked, attacked with
+// mitigation) and reports the recovered performance. All three arms use
+// the same seed; with a fixed spec the result is bit-reproducible — the
+// hub runs one shard with Block backpressure and the engine is driven
+// only by simulated-time events.
+func ClosedLoop(spec ClosedLoopSpec) (*ClosedLoopResult, error) {
+	if spec.AttackStart < 0 || spec.RelocationDelay <= 0 {
+		return nil, fmt.Errorf("experiments: invalid closed-loop times (start %v, delay %v)", spec.AttackStart, spec.RelocationDelay)
+	}
+	if spec.Mode == NoAttack {
+		return nil, fmt.Errorf("experiments: closed loop needs an attack mode")
+	}
+	ws, err := workload.ByAbbrev(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	maxDur := spec.MaxDuration
+	if maxDur <= 0 {
+		maxDur = 20 * ws.WorkSeconds
+	}
+
+	res := &ClosedLoopResult{App: spec.App, Mode: spec.Mode}
+	if res.CleanTime, err = closedLoopRun(spec, maxDur, false, false, nil); err != nil {
+		return nil, err
+	}
+	if res.AttackedTime, err = closedLoopRun(spec, maxDur, true, false, nil); err != nil {
+		return nil, err
+	}
+	if res.MitigatedTime, err = closedLoopRun(spec, maxDur, true, true, res); err != nil {
+		return nil, err
+	}
+	res.AttackedNormalized = res.AttackedTime / res.CleanTime
+	res.MitigatedNormalized = res.MitigatedTime / res.CleanTime
+	if res.AttackedNormalized > 1 {
+		res.Recovered = (res.AttackedNormalized - res.MitigatedNormalized) / (res.AttackedNormalized - 1)
+	}
+	return res, nil
+}
+
+// closedLoopRun executes one arm and returns the victim's completion
+// time. With mitigate set it wires server → hub → engine → server and
+// fills the result's engine-side fields.
+func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool, out *ClosedLoopResult) (float64, error) {
+	cfg := vmm.DefaultConfig()
+	cfg.Seed = spec.Seed
+	srv, err := vmm.NewServer(cfg)
+	if err != nil {
+		return 0, err
+	}
+	appSpec, err := workload.ByAbbrev(spec.App)
+	if err != nil {
+		return 0, err
+	}
+	victim, err := srv.AddApp("victim", appSpec)
+	if err != nil {
+		return 0, err
+	}
+	var sched *attack.Suppressor
+	var atkVM *vmm.VM
+	if attacked {
+		if sched, err = attack.NewSuppressor(attack.Window{Start: spec.AttackStart, End: math.Inf(1)}); err != nil {
+			return 0, err
+		}
+		atk, err := newAttacker(spec.Mode, sched)
+		if err != nil {
+			return 0, err
+		}
+		if atkVM, err = srv.AddAttacker("attacker", atk); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < spec.UtilityVMs; i++ {
+		if _, err := srv.AddApp(fmt.Sprintf("util%d", i), workload.Utility()); err != nil {
+			return 0, err
+		}
+	}
+
+	const sessionID = "victim"
+	var hub *stream.Hub
+	var events <-chan stream.AlarmEvent
+	var eng *respond.Engine
+	if mitigate {
+		params := core.DefaultParams()
+		prof, err := profileFor(spec.App, params)
+		if err != nil {
+			return 0, err
+		}
+		det, err := core.NewSDS(prof, params)
+		if err != nil {
+			return 0, err
+		}
+		// Charge the detector's hypervisor CPU cost, as Fig. 14 does.
+		if err := srv.SetHypervisorLoad(det.Overhead()); err != nil {
+			return 0, err
+		}
+		// One shard + Block backpressure keeps the hub bit-deterministic.
+		hcfg := stream.Config{Shards: 1, QueueCap: 1 << 14, ShardBuffer: 64, Policy: stream.Block}
+		hub = stream.NewHub(hcfg)
+		defer hub.Close()
+		if err := hub.RegisterProfile("sds", func() (core.Detector, error) {
+			return core.NewSDS(prof, params)
+		}); err != nil {
+			return 0, err
+		}
+		if err := hub.Open(sessionID, "sds"); err != nil {
+			return 0, err
+		}
+		ch, cancel := hub.Subscribe(256)
+		defer cancel()
+		events = ch
+		act := &loopActuator{srv: srv, suspect: atkVM.ID(), sched: sched, delay: spec.RelocationDelay}
+		if eng, err = respond.New(spec.Respond, act); err != nil {
+			return 0, err
+		}
+	}
+
+	for victim.DoneAt() == 0 && srv.Now() < maxDur {
+		step := srv.Step()
+		if !mitigate {
+			continue
+		}
+		if smp, ok := step.Samples[victim.ID()]; ok {
+			if _, err := hub.Ingest(sessionID, []pcm.Sample{smp}); err != nil {
+				return 0, err
+			}
+		}
+		// Drain is a barrier: after it, every alarm transition of this
+		// step sits in the subscription buffer, so consuming the channel
+		// non-blockingly here is deterministic.
+		if err := hub.Drain(); err != nil {
+			return 0, err
+		}
+	drained:
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					break drained
+				}
+				if ev.Raised && out != nil {
+					out.Alarms++
+				}
+				if err := eng.Observe(ev.Session, ev.Time, ev.Raised); err != nil {
+					return 0, err
+				}
+			default:
+				break drained
+			}
+		}
+		eng.Tick(step.Time)
+	}
+	if victim.DoneAt() == 0 {
+		return 0, fmt.Errorf("experiments: victim did not complete %s within %.0fs (attacked=%v mitigate=%v)",
+			spec.App, maxDur, attacked, mitigate)
+	}
+	if mitigate && out != nil {
+		out.Stats = eng.Stats()
+		if st, ok := eng.State(sessionID); ok {
+			out.PeakLevel = st.PeakLevel
+		}
+	}
+	return victim.DoneAt(), nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClosedLoopValidation(t *testing.T) {
+	if _, err := ClosedLoop(ClosedLoopSpec{App: "KM", Mode: NoAttack, AttackStart: 1, RelocationDelay: 1}); err == nil {
+		t.Error("NoAttack accepted")
+	}
+	spec := DefaultClosedLoopSpec("KM", BusLock, 1)
+	spec.RelocationDelay = 0
+	if _, err := ClosedLoop(spec); err == nil {
+		t.Error("zero relocation delay accepted")
+	}
+	if _, err := ClosedLoop(DefaultClosedLoopSpec("nope", BusLock, 1)); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestClosedLoopRecoversPerformance is the acceptance experiment: with
+// the respond engine in the loop, the victim's normalized execution time
+// under a bus-locking attack improves over the unmitigated run.
+func TestClosedLoopRecoversPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop simulation is seconds-long")
+	}
+	res, err := ClosedLoop(DefaultClosedLoopSpec("KM", BusLock, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackedNormalized <= 1.05 {
+		t.Fatalf("attack did not slow the victim: normalized %v", res.AttackedNormalized)
+	}
+	if res.MitigatedNormalized >= res.AttackedNormalized {
+		t.Fatalf("mitigation did not help: attacked %v, mitigated %v",
+			res.AttackedNormalized, res.MitigatedNormalized)
+	}
+	if res.Recovered <= 0.2 {
+		t.Errorf("recovered only %.0f%% of the slowdown", 100*res.Recovered)
+	}
+	if res.Alarms == 0 || res.PeakLevel == 0 {
+		t.Errorf("loop never engaged: alarms %d, peak %d", res.Alarms, res.PeakLevel)
+	}
+	if res.Stats.Throttles == 0 {
+		t.Errorf("no throttle actions: %+v", res.Stats)
+	}
+}
+
+// TestClosedLoopDeterministic: the whole closed loop — server, hub,
+// detector, engine — is bit-reproducible under a fixed seed.
+func TestClosedLoopDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop simulation is seconds-long")
+	}
+	spec := DefaultClosedLoopSpec("KM", Cleansing, 3)
+	a, err := ClosedLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClosedLoop(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("closed-loop runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,84 @@
+package respond
+
+import "sync"
+
+// Actuator applies mitigation to the hypervisor. The engine addresses
+// actions by *detection session* (one session protects one VM); the
+// actuator is responsible for resolving the session to the concrete
+// suspect VM(s) — in the simulation experiments that mapping is exact
+// (the co-located attack VM), on a real hypervisor it would come from
+// per-VM counter attribution.
+//
+// Calls happen with the engine lock held, in deterministic order, and
+// must not call back into the engine. Implementations should be fast;
+// a slow actuator delays alarm processing.
+type Actuator interface {
+	// Throttle caps the suspect VM's execution to (1-duty) of its share.
+	// duty 0 clears the throttle.
+	Throttle(session string, duty float64) error
+	// Partition toggles pseudo cache-partitioning around the suspect VM,
+	// containing its LLC evictions (no effect on bus locking).
+	Partition(session string, on bool) error
+	// Migrate moves the protected VM to another host. One-shot per
+	// episode: the engine releases all local mitigation afterwards.
+	Migrate(session string) error
+}
+
+// Applied is the mitigation state a LogActuator currently holds for one
+// session.
+type Applied struct {
+	Duty       float64 `json:"duty"`
+	Partition  bool    `json:"partition"`
+	Migrations int     `json:"migrations"`
+}
+
+// LogActuator is an Actuator for deployments without a hypervisor
+// hookup (e.g. memdosd run stand-alone): it records the mitigation it
+// was asked to apply so operators and tests can inspect the would-be
+// actions. All methods are safe for concurrent use and never fail.
+type LogActuator struct {
+	mu    sync.Mutex
+	state map[string]Applied
+}
+
+// NewLogActuator returns an empty recording actuator.
+func NewLogActuator() *LogActuator {
+	return &LogActuator{state: make(map[string]Applied)}
+}
+
+// Throttle records the duty.
+func (l *LogActuator) Throttle(session string, duty float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state[session]
+	st.Duty = duty
+	l.state[session] = st
+	return nil
+}
+
+// Partition records the partition state.
+func (l *LogActuator) Partition(session string, on bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state[session]
+	st.Partition = on
+	l.state[session] = st
+	return nil
+}
+
+// Migrate counts the migration.
+func (l *LogActuator) Migrate(session string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state[session]
+	st.Migrations++
+	l.state[session] = st
+	return nil
+}
+
+// Applied returns the currently recorded mitigation for the session.
+func (l *LogActuator) Applied(session string) Applied {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state[session]
+}

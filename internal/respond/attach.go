@@ -1,0 +1,31 @@
+package respond
+
+import "memdos/internal/stream"
+
+// Attach subscribes the engine to a hub's alarm feed and pumps raise and
+// clear events into Observe until the returned stop function is called
+// (or the hub closes). buffer sizes the subscription channel; events
+// beyond it are shed by the hub's best-effort delivery (see the
+// guarantee documented in internal/stream/api.go) and counted in the
+// hub's subscriber_dropped metric — the engine self-heals from a missed
+// raise via its sustained-alarm tick rule, and from a missed clear via
+// the next raise.
+//
+// The pump advances engine time from event timestamps only. Deployments
+// whose alarm stream can go quiet while mitigation is active must also
+// call Tick periodically (as cmd/memdosd does from the hub's decision
+// timestamps) so back-off hysteresis keeps progressing.
+func Attach(hub *stream.Hub, eng *Engine, buffer int) (stop func()) {
+	ch, cancel := hub.Subscribe(buffer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			eng.Observe(ev.Session, ev.Time, ev.Raised)
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

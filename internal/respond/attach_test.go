@@ -1,0 +1,110 @@
+package respond
+
+import (
+	"testing"
+	"time"
+
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
+)
+
+// flipDet alarms whenever MissNum exceeds 50 — a trivially controllable
+// detector for wiring tests.
+type flipDet struct{}
+
+func (flipDet) Name() string { return "flip" }
+
+func (flipDet) Push(s pcm.Sample) []core.Decision {
+	return []core.Decision{{Time: s.Time, Alarm: s.MissNum > 50}}
+}
+
+func (flipDet) Overhead() float64 { return 0 }
+
+// waitFor polls cond until it holds or the deadline passes. The Attach
+// pump is asynchronous, so hub-side effects need a grace period.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestAttachClosesTheLoop is the stream→respond integration test: a
+// raised alarm on the hub throttles the session's suspect VM through the
+// actuator, and the clear (plus hysteresis ticks) un-throttles it.
+func TestAttachClosesTheLoop(t *testing.T) {
+	hub := stream.NewHub(stream.Config{Shards: 1, QueueCap: 1024, ShardBuffer: 8, Policy: stream.Block})
+	defer hub.Close()
+	if err := hub.RegisterProfile("flip", func() (core.Detector, error) { return flipDet{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Open("vm-a", "flip"); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{ThrottleDuties: []float64{0.5}, EscalateAfter: 30, ClearAfter: 10}
+	act := &fakeAct{}
+	eng, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := Attach(hub, eng, 16)
+	defer stop()
+
+	// Raise: an anomalous sample flips the detector, the hub publishes the
+	// transition, the pump feeds the engine, the engine throttles.
+	if _, err := hub.Ingest("vm-a", []pcm.Sample{{Time: 1, AccessNum: 100, MissNum: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		calls := act.log()
+		return len(calls) == 1 && calls[0].kind == "throttle" && calls[0].sess == "vm-a" && calls[0].duty == 0.5
+	}, "raised alarm did not throttle the suspect VM")
+
+	// Clear: a clean sample flips the detector back; the engine holds the
+	// throttle through the hysteresis window, then releases on tick.
+	if _, err := hub.Ingest("vm-a", []pcm.Sample{{Time: 2, AccessNum: 100, MissNum: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st, ok := eng.State("vm-a")
+		return ok && !st.AlarmActive
+	}, "clear event never reached the engine")
+	if got := level(t, eng, "vm-a"); got != 1 {
+		t.Fatalf("throttle dropped before hysteresis: level %d", got)
+	}
+
+	eng.Tick(12) // ClearAfter elapsed since the clear at t=2
+	calls := act.log()
+	if len(calls) != 2 || calls[1].kind != "throttle" || calls[1].duty != 0 {
+		t.Fatalf("clear did not un-throttle: calls %+v", calls)
+	}
+	if got := level(t, eng, "vm-a"); got != 0 {
+		t.Fatalf("level after release = %d, want 0", got)
+	}
+
+	// After stop, further hub alarms no longer reach the engine.
+	stop()
+	if _, err := hub.Ingest("vm-a", []pcm.Sample{{Time: 3, AccessNum: 100, MissNum: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := len(act.log()); n != 2 {
+		t.Errorf("detached engine still actuated: %d calls", n)
+	}
+}

@@ -1,0 +1,710 @@
+// Package respond closes the loop from detection to mitigation: a policy
+// engine consumes alarm raise/clear events from the streaming detection
+// hub (internal/stream) and drives graduated, reversible hypervisor
+// actions against the suspect VM of each protected session.
+//
+// The paper detects memory DoS attacks but leaves the response open. Its
+// Section II argument — reproduced by experiments.MigrationStudy — is
+// that migration alone fails because the adversary re-co-locates, while
+// Zhang et al. ("Memory DoS Attacks in Multi-tenant Clouds", arXiv:
+// 1603.03404) show execution throttling of the suspect VM is the
+// effective mitigation. The engine therefore escalates each session
+// through a ladder of increasingly strong actions
+//
+//	idle → throttle(d_1) → … → throttle(d_T) → cache partition → migrate
+//
+// and backs off the same ladder with hysteresis and a cooldown:
+//
+//   - a raise on an idle session applies the first throttle step;
+//   - a re-raise while mitigated (the current step was not enough), or a
+//     raise within Cooldown seconds of the last full release (a flapping
+//     detector), escalates one step instead of restarting at the bottom;
+//   - an alarm sustained for EscalateAfter seconds escalates one step;
+//   - after a clear, the current step is held for ClearAfter seconds of
+//     quiet, then the engine de-escalates one step per further
+//     ClearAfter, so a flapping detector cannot thrash the hypervisor;
+//   - migration is terminal for the episode: the suspect loses
+//     co-residence, so all local mitigation is released and the session
+//     re-enters the ladder from the cooldown state.
+//
+// The engine never reads the wall clock. It advances only on event
+// timestamps and explicit Tick calls, and processes sessions in sorted
+// name order, so closed-loop simulation runs are bit-reproducible (see
+// experiments.ClosedLoop). All methods are safe for concurrent use.
+package respond
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"memdos/internal/metrics"
+)
+
+// Config parameterizes the mitigation ladder and its timing. All times
+// are in the seconds of whatever time domain feeds the engine (simulated
+// seconds in the experiments, sample timestamps in memdosd).
+type Config struct {
+	// ThrottleDuties are the escalating execution-throttle steps applied
+	// to the suspect VM: duty d withholds fraction d of its execution.
+	// Must be ascending, each in (0, 1].
+	ThrottleDuties []float64
+	// EnablePartition adds a pseudo cache-partitioning rung above the
+	// last throttle step (effective against LLC cleansing; a bus-locking
+	// attacker is unaffected by it, see vmm.SetCachePartition).
+	EnablePartition bool
+	// EnableMigration adds victim migration as the final rung. Migration
+	// is one-shot: the engine releases all local mitigation afterwards.
+	EnableMigration bool
+	// EscalateAfter escalates one rung when an alarm stays raised this
+	// many seconds at the current rung. Must be positive.
+	EscalateAfter float64
+	// ClearAfter is the hysteresis hold: after a clear, the current rung
+	// is kept for this many seconds, then the engine steps down one rung
+	// per further ClearAfter of quiet. Must be positive.
+	ClearAfter float64
+	// Cooldown is the flap guard: a raise within Cooldown seconds of the
+	// last full release re-enters the ladder one rung above where the
+	// session left it. Non-negative.
+	Cooldown float64
+	// MaxLog bounds each session's retained action log (<= 0 means 64).
+	MaxLog int
+}
+
+// DefaultConfig returns a conservative ladder: three throttle steps,
+// partitioning and migration enabled, 30 s escalation, 10 s hysteresis,
+// 60 s flap cooldown.
+func DefaultConfig() Config {
+	return Config{
+		ThrottleDuties:  []float64{0.25, 0.5, 0.75},
+		EnablePartition: true,
+		EnableMigration: true,
+		EscalateAfter:   30,
+		ClearAfter:      10,
+		Cooldown:        60,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.ThrottleDuties) == 0 {
+		return fmt.Errorf("respond: need at least one throttle duty")
+	}
+	prev := 0.0
+	for i, d := range c.ThrottleDuties {
+		if d <= prev || d > 1 {
+			return fmt.Errorf("respond: throttle duties must be ascending in (0,1], got %v at %d", d, i)
+		}
+		prev = d
+	}
+	if c.EscalateAfter <= 0 {
+		return fmt.Errorf("respond: non-positive EscalateAfter %v", c.EscalateAfter)
+	}
+	if c.ClearAfter <= 0 {
+		return fmt.Errorf("respond: non-positive ClearAfter %v", c.ClearAfter)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("respond: negative Cooldown %v", c.Cooldown)
+	}
+	return nil
+}
+
+// Action is one recorded policy transition of a session.
+type Action struct {
+	Time float64 `json:"t"`
+	// Kind is "throttle", "partition", "release" or "migrate".
+	Kind string `json:"kind"`
+	// Level is the ladder rung after the transition.
+	Level int `json:"level"`
+	// Duty is the applied throttle duty (throttle/release kinds).
+	Duty float64 `json:"duty"`
+	// Reason is why the transition happened: "raise", "flap-raise",
+	// "re-raise", "sustained", "backoff", "override" or "migrated".
+	Reason string `json:"reason"`
+	// Err carries the actuator failure, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Transition reasons.
+const (
+	reasonRaise     = "raise"
+	reasonFlapRaise = "flap-raise"
+	reasonReRaise   = "re-raise"
+	reasonSustained = "sustained"
+	reasonBackoff   = "backoff"
+	reasonOverride  = "override"
+	reasonMigrated  = "migrated"
+)
+
+// ForceNone is the Force level meaning "no forced level" (auto policy).
+const ForceNone = -1
+
+// SessionState is a point-in-time view of one session's response state.
+type SessionState struct {
+	Session string `json:"session"`
+	// Level is the current ladder rung (0 = no mitigation).
+	Level     int    `json:"level"`
+	LevelName string `json:"levelName"`
+	// AlarmActive mirrors the last observed alarm transition.
+	AlarmActive bool `json:"alarmActive"`
+	// Paused: the operator disabled mitigation for this session.
+	Paused bool `json:"paused"`
+	// Forced is the operator-pinned rung, or ForceNone.
+	Forced int `json:"forced"`
+	// PeakLevel is the highest rung reached so far.
+	PeakLevel int `json:"peakLevel"`
+	// Since is when the session last changed rung.
+	Since float64 `json:"since"`
+	// Escalations / Deescalations / Migrations count transitions.
+	Escalations   uint64 `json:"escalations"`
+	Deescalations uint64 `json:"deescalations"`
+	Migrations    int    `json:"migrations"`
+	// Actions is the bounded, most-recent-last transition log.
+	Actions []Action `json:"actions,omitempty"`
+}
+
+// session is the engine's per-session mutable state.
+type session struct {
+	name  string
+	level int
+	alarm bool
+
+	raisedAt   float64
+	clearedAt  float64
+	levelSince float64
+	// memLevel/memUntil remember the ladder position at the last full
+	// release; a raise before memUntil re-enters one rung above it.
+	memLevel int
+	memUntil float64
+
+	peak   int
+	paused bool
+	forced int
+
+	partitionOn bool
+	curDuty     float64
+
+	migrations    int
+	escalations   uint64
+	deescalations uint64
+	actions       []Action
+}
+
+// Engine is the closed-loop mitigation policy engine.
+type Engine struct {
+	cfg Config
+	act Actuator
+
+	// Ladder geometry: rungs 1..throttleTop are throttle steps,
+	// partitionLevel/migrateLevel are 0 when disabled.
+	throttleTop    int
+	partitionLevel int
+	migrateLevel   int
+	maxLevel       int
+
+	mu       sync.Mutex
+	now      float64
+	sessions map[string]*session
+
+	events           metrics.Counter
+	throttles        metrics.Counter
+	partitions       metrics.Counter
+	releases         metrics.Counter
+	migrations       metrics.Counter
+	escalations      metrics.Counter
+	deescalations    metrics.Counter
+	overrides        metrics.Counter
+	actuatorErrors   metrics.Counter
+	eventsSuppressed metrics.Counter
+}
+
+// New builds an engine driving the given actuator.
+func New(cfg Config, act Actuator) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if act == nil {
+		return nil, fmt.Errorf("respond: nil actuator")
+	}
+	if cfg.MaxLog <= 0 {
+		cfg.MaxLog = 64
+	}
+	e := &Engine{cfg: cfg, act: act, sessions: make(map[string]*session)}
+	e.throttleTop = len(cfg.ThrottleDuties)
+	e.maxLevel = e.throttleTop
+	if cfg.EnablePartition {
+		e.maxLevel++
+		e.partitionLevel = e.maxLevel
+	}
+	if cfg.EnableMigration {
+		e.maxLevel++
+		e.migrateLevel = e.maxLevel
+	}
+	return e, nil
+}
+
+// MaxLevel returns the top ladder rung.
+func (e *Engine) MaxLevel() int { return e.maxLevel }
+
+// LevelName names a ladder rung.
+func (e *Engine) LevelName(level int) string {
+	switch {
+	case level <= 0:
+		return "idle"
+	case level <= e.throttleTop:
+		return fmt.Sprintf("throttle(%.2f)", e.cfg.ThrottleDuties[level-1])
+	case level == e.partitionLevel:
+		return "partition"
+	case level == e.migrateLevel:
+		return "migrate"
+	default:
+		return fmt.Sprintf("level(%d)", level)
+	}
+}
+
+// Ladder lists every rung name from idle to the top.
+func (e *Engine) Ladder() []string {
+	out := make([]string, e.maxLevel+1)
+	for i := range out {
+		out[i] = e.LevelName(i)
+	}
+	return out
+}
+
+// Now returns the engine's current (monotonic) time.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// validName bounds session names the same way internal/stream does.
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("respond: session name must be 1-128 bytes")
+	}
+	return nil
+}
+
+// session returns the state record for name, creating it at idle.
+func (e *Engine) session(name string) *session {
+	s, ok := e.sessions[name]
+	if !ok {
+		s = &session{name: name, forced: ForceNone, memLevel: 0, memUntil: -1}
+		e.sessions[name] = s
+	}
+	return s
+}
+
+// Observe feeds one alarm transition: raised true for a raise, false for
+// a clear. Time-based transitions due strictly before t are applied
+// first (Observe implies Tick(t)). Times before the engine's current
+// time are clamped forward — the engine is monotonic.
+func (e *Engine) Observe(name string, t float64, raised bool) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t > e.now {
+		e.now = t
+	}
+	now := e.now
+	e.tickLocked(now)
+	e.events.Inc()
+	s := e.session(name)
+	if raised {
+		if s.alarm {
+			return nil // duplicate raise
+		}
+		s.alarm = true
+		s.raisedAt = now
+		if s.paused || s.forced != ForceNone {
+			e.eventsSuppressed.Inc()
+			return nil
+		}
+		if s.level == 0 {
+			entry, reason := 1, reasonRaise
+			if now <= s.memUntil && s.memLevel+1 > 1 {
+				entry, reason = s.memLevel+1, reasonFlapRaise
+			}
+			e.escalate(s, entry, now, reason)
+		} else {
+			e.escalate(s, s.level+1, now, reasonReRaise)
+		}
+		return nil
+	}
+	if !s.alarm {
+		return nil // duplicate clear
+	}
+	s.alarm = false
+	s.clearedAt = now
+	// No immediate action: back-off happens through tick hysteresis.
+	return nil
+}
+
+// Tick advances the engine to now, applying any sustained-alarm
+// escalations and quiet-period de-escalations that have come due.
+func (e *Engine) Tick(now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if now > e.now {
+		e.now = now
+	}
+	e.tickLocked(e.now)
+}
+
+// tickLocked runs the time-based transitions for every session, in
+// sorted name order for determinism. Caller holds e.mu.
+func (e *Engine) tickLocked(now float64) {
+	names := make([]string, 0, len(e.sessions))
+	for name := range e.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := e.sessions[name]
+		if s.paused || s.forced != ForceNone {
+			continue
+		}
+		switch {
+		case s.alarm && s.level > 0 && s.level < e.maxLevel &&
+			now-s.levelSince >= e.cfg.EscalateAfter:
+			e.escalate(s, s.level+1, now, reasonSustained)
+		case s.alarm && s.level == 0 &&
+			now-max(s.raisedAt, s.levelSince) >= e.cfg.EscalateAfter:
+			// Alarm still raised after a migration released everything
+			// (or the raise was suppressed): re-enter the ladder.
+			e.escalate(s, 1, now, reasonSustained)
+		case !s.alarm && s.level > 0 &&
+			now-max(s.clearedAt, s.levelSince) >= e.cfg.ClearAfter:
+			e.deescalate(s, now)
+		}
+	}
+}
+
+// escalate raises the session to the target rung (capped at the top) and
+// applies it. Caller holds e.mu.
+func (e *Engine) escalate(s *session, to int, now float64, reason string) {
+	if to > e.maxLevel {
+		to = e.maxLevel
+	}
+	if to <= s.level {
+		return
+	}
+	s.escalations++
+	e.escalations.Inc()
+	e.apply(s, to, now, reason)
+}
+
+// deescalate steps the session down one rung. Caller holds e.mu.
+func (e *Engine) deescalate(s *session, now float64) {
+	s.deescalations++
+	e.deescalations.Inc()
+	from := s.level
+	e.apply(s, s.level-1, now, reasonBackoff)
+	if s.level == 0 {
+		s.memLevel = from
+		s.memUntil = now + e.cfg.Cooldown
+	}
+}
+
+// apply moves the session to the given rung, invoking the actuator with
+// only the calls needed for the transition. Caller holds e.mu.
+func (e *Engine) apply(s *session, level int, now float64, reason string) {
+	if level < 0 {
+		level = 0
+	}
+	if level == e.migrateLevel && e.migrateLevel > 0 {
+		// Terminal rung: migrate the victim away, then release all local
+		// mitigation — the suspect has lost co-residence. A flap raise
+		// within Cooldown re-enters at the top throttle step, never an
+		// immediate re-migration.
+		err := e.act.Migrate(s.name)
+		e.migrations.Inc()
+		s.migrations++
+		e.record(s, Action{Time: now, Kind: "migrate", Level: 0, Reason: reasonMigrated}, err)
+		e.releaseLocked(s, now, reasonMigrated)
+		s.level = 0
+		s.levelSince = now
+		s.memLevel = e.throttleTop - 1
+		s.memUntil = now + e.cfg.Cooldown
+		if s.peak < e.migrateLevel {
+			s.peak = e.migrateLevel
+		}
+		return
+	}
+	if s.partitionOn && (e.partitionLevel == 0 || level < e.partitionLevel) {
+		err := e.act.Partition(s.name, false)
+		e.partitions.Inc()
+		e.record(s, Action{Time: now, Kind: "partition", Level: level, Reason: reason}, err)
+		s.partitionOn = false
+	}
+	switch {
+	case level == 0:
+		if s.curDuty != 0 {
+			err := e.act.Throttle(s.name, 0)
+			e.releases.Inc()
+			e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
+			s.curDuty = 0
+		}
+	case level <= e.throttleTop:
+		duty := e.cfg.ThrottleDuties[level-1]
+		if s.curDuty != duty {
+			err := e.act.Throttle(s.name, duty)
+			e.throttles.Inc()
+			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
+			s.curDuty = duty
+		}
+	case level == e.partitionLevel:
+		// Partitioning stacks on the strongest throttle step.
+		duty := e.cfg.ThrottleDuties[e.throttleTop-1]
+		if s.curDuty != duty {
+			err := e.act.Throttle(s.name, duty)
+			e.throttles.Inc()
+			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
+			s.curDuty = duty
+		}
+		if !s.partitionOn {
+			err := e.act.Partition(s.name, true)
+			e.partitions.Inc()
+			e.record(s, Action{Time: now, Kind: "partition", Level: level, Duty: duty, Reason: reason}, err)
+			s.partitionOn = true
+		}
+	}
+	s.level = level
+	s.levelSince = now
+	if level > s.peak {
+		s.peak = level
+	}
+}
+
+// releaseLocked clears every active mitigation of the session.
+func (e *Engine) releaseLocked(s *session, now float64, reason string) {
+	if s.partitionOn {
+		err := e.act.Partition(s.name, false)
+		e.partitions.Inc()
+		e.record(s, Action{Time: now, Kind: "partition", Level: 0, Reason: reason}, err)
+		s.partitionOn = false
+	}
+	if s.curDuty != 0 {
+		err := e.act.Throttle(s.name, 0)
+		e.releases.Inc()
+		e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
+		s.curDuty = 0
+	}
+}
+
+// record appends the action (annotated with any actuator error) to the
+// session's bounded log. Caller holds e.mu.
+func (e *Engine) record(s *session, a Action, err error) {
+	if err != nil {
+		a.Err = err.Error()
+		e.actuatorErrors.Inc()
+	}
+	s.actions = append(s.actions, a)
+	if over := len(s.actions) - e.cfg.MaxLog; over > 0 {
+		s.actions = append(s.actions[:0], s.actions[over:]...)
+	}
+}
+
+// Pause releases the session's mitigation and ignores its alarms until
+// Resume — the operator's "hands off this VM" override.
+func (e *Engine) Pause(name string) (SessionState, error) {
+	return e.override(name, func(s *session) {
+		s.paused = true
+		s.forced = ForceNone
+		e.releaseLocked(s, e.now, reasonOverride)
+		s.level = 0
+		s.levelSince = e.now
+	})
+}
+
+// Force pins the session at the given rung regardless of alarms, until
+// Resume (or Force with ForceNone). The migration rung cannot be forced.
+func (e *Engine) Force(name string, level int) (SessionState, error) {
+	top := e.maxLevel
+	if e.migrateLevel > 0 {
+		top = e.migrateLevel - 1
+	}
+	if level != ForceNone && (level < 0 || level > top) {
+		return SessionState{}, fmt.Errorf("respond: force level %d outside [0,%d]", level, top)
+	}
+	return e.override(name, func(s *session) {
+		s.paused = false
+		s.forced = level
+		if level == ForceNone {
+			s.levelSince = e.now
+			if s.alarm {
+				e.escalate(s, 1, e.now, reasonOverride)
+			}
+			return
+		}
+		e.apply(s, level, e.now, reasonOverride)
+	})
+}
+
+// Resume returns the session to automatic policy. If its alarm is still
+// raised, mitigation re-enters the ladder at the first rung.
+func (e *Engine) Resume(name string) (SessionState, error) {
+	return e.override(name, func(s *session) {
+		s.paused = false
+		s.forced = ForceNone
+		s.levelSince = e.now
+		if s.alarm {
+			e.escalate(s, 1, e.now, reasonOverride)
+		}
+	})
+}
+
+func (e *Engine) override(name string, fn func(*session)) (SessionState, error) {
+	if err := validName(name); err != nil {
+		return SessionState{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.overrides.Inc()
+	s := e.session(name)
+	fn(s)
+	return e.stateLocked(s), nil
+}
+
+// Forget drops the session's state, releasing any active mitigation
+// (e.g. when its detection session closes).
+func (e *Engine) Forget(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[name]
+	if !ok {
+		return
+	}
+	e.releaseLocked(s, e.now, reasonOverride)
+	delete(e.sessions, name)
+}
+
+// State returns one session's response state.
+func (e *Engine) State(name string) (SessionState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[name]
+	if !ok {
+		return SessionState{}, false
+	}
+	return e.stateLocked(s), true
+}
+
+// States returns every session's response state, sorted by name.
+func (e *Engine) States() []SessionState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SessionState, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		out = append(out, e.stateLocked(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+func (e *Engine) stateLocked(s *session) SessionState {
+	return SessionState{
+		Session:       s.name,
+		Level:         s.level,
+		LevelName:     e.LevelName(s.level),
+		AlarmActive:   s.alarm,
+		Paused:        s.paused,
+		Forced:        s.forced,
+		PeakLevel:     s.peak,
+		Since:         s.levelSince,
+		Escalations:   s.escalations,
+		Deescalations: s.deescalations,
+		Migrations:    s.migrations,
+		Actions:       append([]Action(nil), s.actions...),
+	}
+}
+
+// Stats is a programmatic snapshot of the engine counters.
+type Stats struct {
+	Sessions       int
+	Mitigated      int
+	Events         uint64
+	Throttles      uint64
+	Partitions     uint64
+	Releases       uint64
+	Migrations     uint64
+	Escalations    uint64
+	Deescalations  uint64
+	Overrides      uint64
+	ActuatorErrors uint64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	n, mit := len(e.sessions), 0
+	for _, s := range e.sessions {
+		if s.level > 0 {
+			mit++
+		}
+	}
+	e.mu.Unlock()
+	return Stats{
+		Sessions:       n,
+		Mitigated:      mit,
+		Events:         e.events.Value(),
+		Throttles:      e.throttles.Value(),
+		Partitions:     e.partitions.Value(),
+		Releases:       e.releases.Value(),
+		Migrations:     e.migrations.Value(),
+		Escalations:    e.escalations.Value(),
+		Deescalations:  e.deescalations.Value(),
+		Overrides:      e.overrides.Value(),
+		ActuatorErrors: e.actuatorErrors.Value(),
+	}
+}
+
+// RegisterMetrics exposes the engine counters and per-session levels on
+// a metrics registry (the /metrics endpoint).
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("memdos_respond_events_total",
+		"Alarm transitions observed by the respond engine.", &e.events)
+	reg.RegisterCounter("memdos_respond_throttle_actions_total",
+		"Suspect-VM throttle actions applied.", &e.throttles)
+	reg.RegisterCounter("memdos_respond_partition_actions_total",
+		"Cache partition toggles applied.", &e.partitions)
+	reg.RegisterCounter("memdos_respond_release_actions_total",
+		"Full mitigation releases applied.", &e.releases)
+	reg.RegisterCounter("memdos_respond_migrations_total",
+		"Victim migrations triggered.", &e.migrations)
+	reg.RegisterCounter("memdos_respond_escalations_total",
+		"Ladder escalations.", &e.escalations)
+	reg.RegisterCounter("memdos_respond_deescalations_total",
+		"Ladder de-escalations.", &e.deescalations)
+	reg.RegisterCounter("memdos_respond_overrides_total",
+		"Operator pause/force/resume overrides.", &e.overrides)
+	reg.RegisterCounter("memdos_respond_actuator_errors_total",
+		"Actuator invocations that returned an error.", &e.actuatorErrors)
+	reg.RegisterCounter("memdos_respond_events_suppressed_total",
+		"Raises ignored because the session was paused or forced.", &e.eventsSuppressed)
+	reg.RegisterGaugeFunc("memdos_respond_mitigated_sessions",
+		"Sessions with active mitigation (level > 0).", func() []metrics.Point {
+			e.mu.Lock()
+			n := 0
+			for _, s := range e.sessions {
+				if s.level > 0 {
+					n++
+				}
+			}
+			e.mu.Unlock()
+			return []metrics.Point{{Value: float64(n)}}
+		})
+	reg.RegisterGaugeFunc("memdos_respond_level",
+		"Current mitigation ladder rung, per session.", func() []metrics.Point {
+			e.mu.Lock()
+			pts := make([]metrics.Point, 0, len(e.sessions))
+			for name, s := range e.sessions {
+				pts = append(pts, metrics.Point{Labels: fmt.Sprintf("session=%q", name), Value: float64(s.level)})
+			}
+			e.mu.Unlock()
+			return pts
+		})
+}

@@ -1,0 +1,516 @@
+package respond
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// call is one recorded actuator invocation.
+type call struct {
+	kind string
+	sess string
+	duty float64
+	on   bool
+}
+
+// fakeAct records every actuator call; with fail set, all calls error.
+type fakeAct struct {
+	mu    sync.Mutex
+	calls []call
+	fail  bool
+}
+
+func (f *fakeAct) add(c call) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, c)
+	if f.fail {
+		return fmt.Errorf("actuator down")
+	}
+	return nil
+}
+
+func (f *fakeAct) Throttle(sess string, duty float64) error {
+	return f.add(call{kind: "throttle", sess: sess, duty: duty})
+}
+
+func (f *fakeAct) Partition(sess string, on bool) error {
+	return f.add(call{kind: "partition", sess: sess, on: on})
+}
+
+func (f *fakeAct) Migrate(sess string) error {
+	return f.add(call{kind: "migrate", sess: sess})
+}
+
+func (f *fakeAct) log() []call {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]call(nil), f.calls...)
+}
+
+// testConfig is the default ladder with handy short names in tests.
+func testConfig() Config { return DefaultConfig() }
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *fakeAct) {
+	t.Helper()
+	act := &fakeAct{}
+	eng, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, act
+}
+
+func raise(t *testing.T, e *Engine, name string, at float64) {
+	t.Helper()
+	if err := e.Observe(name, at, true); err != nil {
+		t.Fatalf("raise(%s,%v): %v", name, at, err)
+	}
+}
+
+func clear(t *testing.T, e *Engine, name string, at float64) {
+	t.Helper()
+	if err := e.Observe(name, at, false); err != nil {
+		t.Fatalf("clear(%s,%v): %v", name, at, err)
+	}
+}
+
+func level(t *testing.T, e *Engine, name string) int {
+	t.Helper()
+	st, ok := e.State(name)
+	if !ok {
+		t.Fatalf("session %s unknown", name)
+	}
+	return st.Level
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{ThrottleDuties: []float64{0.5, 0.25}, EscalateAfter: 1, ClearAfter: 1},
+		{ThrottleDuties: []float64{0.5, 0.5}, EscalateAfter: 1, ClearAfter: 1},
+		{ThrottleDuties: []float64{0}, EscalateAfter: 1, ClearAfter: 1},
+		{ThrottleDuties: []float64{1.5}, EscalateAfter: 1, ClearAfter: 1},
+		{ThrottleDuties: []float64{0.5}, EscalateAfter: 0, ClearAfter: 1},
+		{ThrottleDuties: []float64{0.5}, EscalateAfter: 1, ClearAfter: 0},
+		{ThrottleDuties: []float64{0.5}, EscalateAfter: 1, ClearAfter: 1, Cooldown: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil actuator accepted")
+	}
+}
+
+func TestLadderGeometry(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig())
+	if eng.MaxLevel() != 5 {
+		t.Fatalf("MaxLevel = %d, want 5", eng.MaxLevel())
+	}
+	want := []string{"idle", "throttle(0.25)", "throttle(0.50)", "throttle(0.75)", "partition", "migrate"}
+	if got := eng.Ladder(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Ladder = %v, want %v", got, want)
+	}
+
+	cfg := testConfig()
+	cfg.EnablePartition, cfg.EnableMigration = false, false
+	throttleOnly, _ := newTestEngine(t, cfg)
+	if throttleOnly.MaxLevel() != 3 {
+		t.Errorf("throttle-only MaxLevel = %d, want 3", throttleOnly.MaxLevel())
+	}
+}
+
+// TestEscalationLadder walks a sustained alarm through every rung:
+// raise → throttle 0.25 → 0.5 → 0.75 → partition → migrate-and-release.
+func TestEscalationLadder(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0)
+	if got := level(t, eng, "vm"); got != 1 {
+		t.Fatalf("level after raise = %d, want 1", got)
+	}
+	eng.Tick(29)
+	if got := level(t, eng, "vm"); got != 1 {
+		t.Fatalf("level before EscalateAfter = %d, want 1", got)
+	}
+	eng.Tick(30) // sustained → 0.5
+	eng.Tick(60) // sustained → 0.75
+	eng.Tick(90) // sustained → partition
+	if got := level(t, eng, "vm"); got != 4 {
+		t.Fatalf("level at partition rung = %d, want 4", got)
+	}
+	eng.Tick(120) // sustained → migrate, then full release
+
+	want := []call{
+		{kind: "throttle", sess: "vm", duty: 0.25},
+		{kind: "throttle", sess: "vm", duty: 0.5},
+		{kind: "throttle", sess: "vm", duty: 0.75},
+		{kind: "partition", sess: "vm", on: true},
+		{kind: "migrate", sess: "vm"},
+		{kind: "partition", sess: "vm", on: false},
+		{kind: "throttle", sess: "vm", duty: 0},
+	}
+	if got := act.log(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("actuator calls:\n got %+v\nwant %+v", got, want)
+	}
+	st, _ := eng.State("vm")
+	if st.Level != 0 || st.PeakLevel != 5 || st.Migrations != 1 {
+		t.Errorf("post-migration state = %+v", st)
+	}
+
+	// The alarm never cleared: after EscalateAfter of continued noise the
+	// session re-enters the ladder (migration is not a permanent fix when
+	// the adversary re-co-locates).
+	eng.Tick(149)
+	if got := level(t, eng, "vm"); got != 0 {
+		t.Fatalf("re-entered too early: level %d", got)
+	}
+	eng.Tick(150)
+	if got := level(t, eng, "vm"); got != 1 {
+		t.Fatalf("no re-entry after sustained alarm: level %d", got)
+	}
+}
+
+// TestHysteresisBackoff checks the quiet-period de-escalation: hold for
+// ClearAfter, then one rung per further ClearAfter.
+func TestHysteresisBackoff(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0)
+	eng.Tick(30)
+	eng.Tick(60) // level 3 (0.75)
+	clear(t, eng, "vm", 65)
+	eng.Tick(74) // 9s of quiet: hold
+	if got := level(t, eng, "vm"); got != 3 {
+		t.Fatalf("backed off before ClearAfter: level %d", got)
+	}
+	eng.Tick(75)
+	if got := level(t, eng, "vm"); got != 2 {
+		t.Fatalf("level after first back-off = %d, want 2", got)
+	}
+	eng.Tick(84)
+	if got := level(t, eng, "vm"); got != 2 {
+		t.Fatalf("double back-off within one ClearAfter: level %d", got)
+	}
+	eng.Tick(85) // → 1
+	eng.Tick(95) // → 0, full release
+	if got := level(t, eng, "vm"); got != 0 {
+		t.Fatalf("final level = %d, want 0", got)
+	}
+	calls := act.log()
+	last := calls[len(calls)-1]
+	if last.kind != "throttle" || last.duty != 0 {
+		t.Errorf("last call = %+v, want release", last)
+	}
+	st, _ := eng.State("vm")
+	if st.Deescalations != 3 {
+		t.Errorf("deescalations = %d, want 3", st.Deescalations)
+	}
+}
+
+// TestFlapCooldown checks the flap guard: a raise shortly after a full
+// release re-enters one rung above where the session left the ladder.
+func TestFlapCooldown(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0) // level 1
+	clear(t, eng, "vm", 1)
+	eng.Tick(11) // release; memory: left at 1, cooldown until 71
+	if got := level(t, eng, "vm"); got != 0 {
+		t.Fatalf("level after release = %d, want 0", got)
+	}
+
+	raise(t, eng, "vm", 20) // within cooldown → enter at 2
+	if got := level(t, eng, "vm"); got != 2 {
+		t.Fatalf("flap re-entry level = %d, want 2", got)
+	}
+	st, _ := eng.State("vm")
+	lastAct := st.Actions[len(st.Actions)-1]
+	if lastAct.Reason != "flap-raise" || lastAct.Duty != 0.5 {
+		t.Errorf("flap action = %+v", lastAct)
+	}
+
+	clear(t, eng, "vm", 21)
+	eng.Tick(31) // → 1
+	eng.Tick(41) // → 0; memory: left at 2, cooldown until 101
+
+	raise(t, eng, "vm", 200) // cooldown long expired → normal entry
+	if got := level(t, eng, "vm"); got != 1 {
+		t.Fatalf("post-cooldown entry level = %d, want 1", got)
+	}
+	calls := act.log()
+	last := calls[len(calls)-1]
+	if last.kind != "throttle" || last.duty != 0.25 {
+		t.Errorf("post-cooldown call = %+v, want throttle 0.25", last)
+	}
+}
+
+// TestReRaiseEscalates: an alarm that clears and re-raises while the
+// session is still mitigated means the current rung was not enough.
+func TestReRaiseEscalates(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0)
+	clear(t, eng, "vm", 2)
+	raise(t, eng, "vm", 5) // still at level 1 (ClearAfter not elapsed)
+	if got := level(t, eng, "vm"); got != 2 {
+		t.Fatalf("re-raise level = %d, want 2", got)
+	}
+	st, _ := eng.State("vm")
+	lastAct := st.Actions[len(st.Actions)-1]
+	if lastAct.Reason != "re-raise" {
+		t.Errorf("re-raise action = %+v", lastAct)
+	}
+}
+
+func TestDuplicateEventsIgnored(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0)
+	raise(t, eng, "vm", 1) // duplicate raise: no escalation
+	if got := level(t, eng, "vm"); got != 1 {
+		t.Fatalf("level after duplicate raise = %d, want 1", got)
+	}
+	clear(t, eng, "vm", 2)
+	clear(t, eng, "vm", 3) // duplicate clear
+	if n := len(act.log()); n != 1 {
+		t.Errorf("actuator calls = %d, want 1", n)
+	}
+	if st := eng.Stats(); st.Events != 4 {
+		t.Errorf("events = %d, want 4", st.Events)
+	}
+}
+
+func TestOverridePauseForceResume(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnablePartition, cfg.EnableMigration = false, false // maxLevel 3
+	eng, act := newTestEngine(t, cfg)
+
+	raise(t, eng, "vm", 0)
+	st, err := eng.Pause("vm")
+	if err != nil || !st.Paused || st.Level != 0 {
+		t.Fatalf("Pause = %+v, %v", st, err)
+	}
+	calls := act.log()
+	if last := calls[len(calls)-1]; last.kind != "throttle" || last.duty != 0 {
+		t.Fatalf("pause did not release: %+v", last)
+	}
+	eng.Tick(100) // alarm still raised, but paused: stays idle
+	if got := level(t, eng, "vm"); got != 0 {
+		t.Fatalf("paused session mitigated: level %d", got)
+	}
+
+	st, err = eng.Resume("vm")
+	if err != nil || st.Paused || st.Level != 1 {
+		t.Fatalf("Resume (alarm active) = %+v, %v", st, err)
+	}
+
+	st, err = eng.Force("vm", 3)
+	if err != nil || st.Forced != 3 || st.Level != 3 {
+		t.Fatalf("Force(3) = %+v, %v", st, err)
+	}
+	eng.Tick(200) // forced sessions never auto-transition
+	if got := level(t, eng, "vm"); got != 3 {
+		t.Fatalf("forced session moved: level %d", got)
+	}
+	if _, err := eng.Force("vm", 4); err == nil {
+		t.Error("force above top accepted")
+	}
+	if _, err := eng.Force("vm", -2); err == nil {
+		t.Error("negative force accepted")
+	}
+
+	// Back to auto policy: level is kept, hysteresis resumes after clear.
+	if st, err = eng.Force("vm", ForceNone); err != nil || st.Forced != ForceNone || st.Level != 3 {
+		t.Fatalf("Force(ForceNone) = %+v, %v", st, err)
+	}
+	clear(t, eng, "vm", 201)
+	eng.Tick(211)
+	eng.Tick(221)
+	eng.Tick(231)
+	if got := level(t, eng, "vm"); got != 0 {
+		t.Fatalf("level after resume+clear hysteresis = %d, want 0", got)
+	}
+}
+
+func TestForceMigrationRungRejected(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig()) // migrate = rung 5
+	if _, err := eng.Force("vm", 5); err == nil {
+		t.Error("forcing the migration rung accepted")
+	}
+	if _, err := eng.Force("vm", 4); err != nil {
+		t.Errorf("forcing partition rung rejected: %v", err)
+	}
+}
+
+func TestForget(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	raise(t, eng, "vm", 0)
+	eng.Forget("vm")
+	if _, ok := eng.State("vm"); ok {
+		t.Error("session survived Forget")
+	}
+	calls := act.log()
+	if last := calls[len(calls)-1]; last.kind != "throttle" || last.duty != 0 {
+		t.Errorf("Forget did not release: %+v", last)
+	}
+	eng.Forget("vm") // idempotent
+	if n := len(eng.States()); n != 0 {
+		t.Errorf("states = %d, want 0", n)
+	}
+}
+
+func TestActuatorErrorsRecorded(t *testing.T) {
+	act := &fakeAct{fail: true}
+	eng, err := New(testConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raise(t, eng, "vm", 0)
+	st, _ := eng.State("vm")
+	if len(st.Actions) == 0 || st.Actions[0].Err == "" {
+		t.Errorf("actuator error not recorded: %+v", st.Actions)
+	}
+	if got := eng.Stats().ActuatorErrors; got != 1 {
+		t.Errorf("actuator errors = %d, want 1", got)
+	}
+	// Policy still advanced despite the failed actuation.
+	if st.Level != 1 {
+		t.Errorf("level = %d, want 1", st.Level)
+	}
+}
+
+func TestMonotonicTime(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig())
+	raise(t, eng, "a", 10)
+	raise(t, eng, "b", 5) // behind the engine clock: clamped to 10
+	if now := eng.Now(); now != 10 {
+		t.Fatalf("Now = %v, want 10", now)
+	}
+	st, _ := eng.State("b")
+	if len(st.Actions) != 1 || st.Actions[0].Time != 10 {
+		t.Errorf("clamped action = %+v", st.Actions)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig())
+	if err := eng.Observe("", 0, true); err == nil {
+		t.Error("empty session name accepted")
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if err := eng.Observe(string(long), 0, true); err == nil {
+		t.Error("oversized session name accepted")
+	}
+}
+
+// driveScript exercises a representative mix of raises, clears, flaps,
+// ticks and overrides against an engine.
+func driveScript(t *testing.T, eng *Engine) {
+	t.Helper()
+	raise(t, eng, "vm-a", 0)
+	raise(t, eng, "vm-b", 1)
+	eng.Tick(15)
+	clear(t, eng, "vm-b", 16)
+	eng.Tick(31) // vm-a sustained → 2; vm-b hysteresis starts
+	eng.Tick(40) // vm-b releases (26+... quiet)
+	raise(t, eng, "vm-b", 45)
+	clear(t, eng, "vm-a", 50)
+	if _, err := eng.Force("vm-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	eng.Tick(70)
+	if _, err := eng.Resume("vm-b"); err != nil {
+		t.Fatal(err)
+	}
+	clear(t, eng, "vm-b", 80)
+	eng.Tick(200)
+	eng.Tick(400)
+}
+
+// TestDeterminism: the same event script produces bit-identical state and
+// actuator call sequences.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]SessionState, []call) {
+		eng, act := newTestEngine(t, testConfig())
+		driveScript(t, eng)
+		return eng.States(), act.log()
+	}
+	st1, calls1 := run()
+	st2, calls2 := run()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Errorf("states diverged:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(calls1, calls2) {
+		t.Errorf("actuator calls diverged:\n%+v\n%+v", calls1, calls2)
+	}
+}
+
+func TestActionLogBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxLog = 4
+	eng, _ := newTestEngine(t, cfg)
+	for i := 0; i < 20; i++ {
+		at := float64(100 * i)
+		raise(t, eng, "vm", at)
+		clear(t, eng, "vm", at+1)
+		eng.Tick(at + 99) // full release each cycle
+	}
+	st, _ := eng.State("vm")
+	if len(st.Actions) > 4 {
+		t.Errorf("action log grew to %d (cap 4)", len(st.Actions))
+	}
+}
+
+// TestConcurrentAccess drives overlapping raise/clear streams, ticks and
+// state reads from many goroutines (meaningful under -race).
+func TestConcurrentAccess(t *testing.T) {
+	eng, _ := newTestEngine(t, testConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("vm-%d", g)
+			for i := 0; i < 200; i++ {
+				at := float64(i)
+				if err := eng.Observe(name, at, i%2 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			eng.Tick(float64(i))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			eng.States()
+			eng.Stats()
+			if i%10 == 0 {
+				if _, err := eng.Pause("vm-0"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.Resume("vm-0"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -12,6 +12,24 @@ import (
 // is deliberately strict — it faces the network: unknown fields, partial
 // samples, non-finite counters, oversized payloads and trailing garbage
 // are all errors, never panics (FuzzDecodeIngest enforces this).
+//
+// # Alarm delivery guarantee
+//
+// Subscribe delivers AlarmEvents best-effort: the hub publishes each
+// alarm transition (raise or clear, never intermediate decisions) to
+// every subscriber's buffered channel without ever blocking the
+// detection path. A subscriber that falls behind its buffer loses the
+// event — silently from the channel's point of view, but never
+// invisibly: every shed event increments the
+// memdos_stream_subscriber_dropped_total counter (HubStats.
+// SubscriberDropped). Within one session, events that are delivered
+// arrive in order; a dropped event therefore means a consumer may miss
+// a raise or a clear, never see them reordered. Consumers that need
+// exactness must either size their buffer for the worst-case burst
+// (sessions × 2 transitions covers any instant) or reconcile against
+// SessionInfo.AlarmActive, which is always current. The respond engine
+// does the latter implicitly: a missed raise is recovered by its
+// sustained-alarm tick rule, a missed clear by the next transition.
 
 // Decode limits: a request may not exceed MaxIngestBytes on the wire or
 // MaxIngestSamples decoded samples across all batches.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -411,6 +412,54 @@ func TestHubMetricsExposition(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSubscriberDropAccounting pins the alarm delivery guarantee
+// documented in api.go: fan-out never blocks the detection path, events
+// beyond a subscriber's buffer are shed, and every shed event is counted
+// in SubscriberDropped.
+func TestSubscriberDropAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Block
+	h := newTestHub(t, cfg, fastParams())
+
+	slow, cancelSlow := h.Subscribe(1) // never consumed: overflows
+	defer cancelSlow()
+	wide, cancelWide := h.Subscribe(1 << 10) // sized for everything
+	defer cancelWide()
+
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("vm-%d", i)
+		if err := h.Open(id, "sdsb"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Ingest(id, sessionSamples(uint64(i+1), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := len(wide) // every published transition
+	st := h.Stats()
+	if st.AlarmsRaised < 3 || total < 3 {
+		t.Fatalf("expected a raise per session: raised %d, published %d", st.AlarmsRaised, total)
+	}
+	if len(slow) != 1 {
+		t.Fatalf("slow subscriber buffer holds %d events, want 1", len(slow))
+	}
+	if st.SubscriberDropped != uint64(total-1) {
+		t.Errorf("SubscriberDropped = %d, want %d (published %d, buffered 1)",
+			st.SubscriberDropped, total-1, total)
+	}
+	// The slow subscriber cost the sessions nothing.
+	for i := 0; i < 3; i++ {
+		in, ok := h.Session(fmt.Sprintf("vm-%d", i))
+		if !ok || in.Pending != 0 || in.Dropped != 0 {
+			t.Errorf("session vm-%d impeded: %+v", i, in)
 		}
 	}
 }

@@ -95,6 +95,15 @@ type Server struct {
 	hyperLoad      float64
 	throttleUntil  float64
 	throttleExcept VMID
+
+	// execThrottle is the per-VM execution-throttle fraction in [0,1):
+	// the mitigation primitive of Zhang et al. (arXiv:1603.03404) — the
+	// suspect VM runs at (1-frac) of its share, which scales an
+	// attacker's effective intensity and an application's progress alike.
+	execThrottle map[VMID]float64
+	// partitioned marks VMs whose LLC footprint is pseudo-partitioned
+	// away from the other tenants: their cleansing pressure is contained.
+	partitioned map[VMID]bool
 }
 
 // NewServer returns an empty server.
@@ -112,6 +121,8 @@ func NewServer(cfg Config) (*Server, error) {
 		rng:            sim.NewRNG(cfg.Seed),
 		counters:       make(map[VMID]*pcm.Counter),
 		throttleExcept: -1,
+		execThrottle:   make(map[VMID]float64),
+		partitioned:    make(map[VMID]bool),
 	}, nil
 }
 
@@ -188,6 +199,50 @@ func (s *Server) Throttled(id VMID) bool {
 	return s.clock.Now() < s.throttleUntil && id != s.throttleExcept
 }
 
+// SetExecThrottle caps one VM's execution to (1-frac) of its share until
+// changed — the graduated per-VM mitigation primitive (Zhang et al.,
+// arXiv:1603.03404) the respond engine escalates through. frac 0 clears
+// the throttle; frac must be in [0,1). For an attack VM the throttle
+// scales the attack's effective intensity and access storm; for an
+// application VM it scales progress.
+func (s *Server) SetExecThrottle(id VMID, frac float64) error {
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("vmm: exec throttle %v outside [0,1)", frac)
+	}
+	if int(id) < 0 || int(id) >= len(s.vms) {
+		return fmt.Errorf("vmm: no VM %d", id)
+	}
+	if frac == 0 {
+		delete(s.execThrottle, id)
+	} else {
+		s.execThrottle[id] = frac
+	}
+	return nil
+}
+
+// ExecThrottle returns the VM's current execution-throttle fraction.
+func (s *Server) ExecThrottle(id VMID) float64 { return s.execThrottle[id] }
+
+// SetCachePartition toggles pseudo cache-partitioning around one VM:
+// while on, its LLC evictions are contained to its own partition, so a
+// cleansing attacker stops inflating the other tenants' miss ratios. Bus
+// locking is unaffected — the lock is a bus-level mechanism, which is
+// why the respond ladder keeps throttling underneath the partition rung.
+func (s *Server) SetCachePartition(id VMID, on bool) error {
+	if int(id) < 0 || int(id) >= len(s.vms) {
+		return fmt.Errorf("vmm: no VM %d", id)
+	}
+	if on {
+		s.partitioned[id] = true
+	} else {
+		delete(s.partitioned, id)
+	}
+	return nil
+}
+
+// CachePartitioned reports whether the VM is pseudo-partitioned.
+func (s *Server) CachePartitioned(id VMID) bool { return s.partitioned[id] }
+
 // StepResult carries the PCM samples completed during a step, keyed by VM.
 type StepResult struct {
 	Time    float64
@@ -200,21 +255,25 @@ func (s *Server) Step() StepResult {
 	now := s.clock.Now()
 	dt := s.cfg.TPCM
 
-	// Phase 1: attacker demands.
+	// Phase 1: attacker demands, scaled by any per-VM execution throttle.
 	cleansePressure := 0.0
 	for _, vm := range s.vms {
 		if vm.attacker == nil || s.Throttled(vm.id) || !vm.attacker.Active(now) {
 			continue
 		}
+		thr := 1 - s.execThrottle[vm.id]
 		switch vm.attacker.Kind() {
 		case attack.BusLock:
-			s.bus.RequestLock(bus.Owner(vm.id), vm.attacker.IntensityAt(now)*dt)
-			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*dt)
+			s.bus.RequestLock(bus.Owner(vm.id), vm.attacker.IntensityAt(now)*thr*dt)
+			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*thr*dt)
 		case attack.LLCCleansing:
-			if p := vm.attacker.IntensityAt(now); p > cleansePressure {
+			// IntensityAt is always evaluated so ramp edges stay tracked;
+			// a partitioned VM's evictions are contained, so its pressure
+			// never reaches the other tenants.
+			if p := vm.attacker.IntensityAt(now) * thr; p > cleansePressure && !s.partitioned[vm.id] {
 				cleansePressure = p
 			}
-			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*dt)
+			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*thr*dt)
 		}
 	}
 
@@ -223,6 +282,7 @@ func (s *Server) Step() StepResult {
 		requested float64
 		miss      float64
 		stall     float64
+		thr       float64
 	}
 	states := make(map[VMID]appState, len(s.vms))
 	for _, vm := range s.vms {
@@ -235,9 +295,10 @@ func (s *Server) Step() StepResult {
 		if excess := m - m0; excess > 0 {
 			stall = 1 / (1 + s.cfg.MissPenalty*excess)
 		}
-		requested := demand * stall
+		thr := 1 - s.execThrottle[vm.id]
+		requested := demand * stall * thr
 		s.bus.RequestAccesses(bus.Owner(vm.id), requested)
-		states[vm.id] = appState{requested: requested, miss: m, stall: stall}
+		states[vm.id] = appState{requested: requested, miss: m, stall: stall, thr: thr}
 	}
 
 	// Phase 3: bus arbitration.
@@ -253,7 +314,7 @@ func (s *Server) Step() StepResult {
 			if st.requested > 0 {
 				ratio = d / st.requested
 			}
-			speed := st.stall * ratio * (1 - s.hyperLoad)
+			speed := st.stall * ratio * (1 - s.hyperLoad) * st.thr
 			vm.lastSpeed = speed
 			vm.app.Advance(dt, speed)
 			if vm.doneAt == 0 && vm.app.Done() {

@@ -286,3 +286,141 @@ func TestPeriodStretchUnderCleansing(t *testing.T) {
 		t.Fatalf("expected 12000 samples, got %d", acc.Len())
 	}
 }
+
+func TestExecThrottleValidation(t *testing.T) {
+	s := newServer(t)
+	vm, _ := s.AddApp("v", workload.MustByAbbrev("KM"))
+	if err := s.SetExecThrottle(vm.ID(), -0.1); err == nil {
+		t.Error("negative throttle accepted")
+	}
+	if err := s.SetExecThrottle(vm.ID(), 1); err == nil {
+		t.Error("throttle of 1 accepted")
+	}
+	if err := s.SetExecThrottle(99, 0.5); err == nil {
+		t.Error("unknown VM accepted")
+	}
+	if err := s.SetCachePartition(99, true); err == nil {
+		t.Error("partition of unknown VM accepted")
+	}
+	if err := s.SetExecThrottle(vm.ID(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExecThrottle(vm.ID()); got != 0.5 {
+		t.Errorf("ExecThrottle = %v, want 0.5", got)
+	}
+	if err := s.SetExecThrottle(vm.ID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExecThrottle(vm.ID()); got != 0 {
+		t.Errorf("cleared ExecThrottle = %v, want 0", got)
+	}
+	if err := s.SetCachePartition(vm.ID(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CachePartitioned(vm.ID()) {
+		t.Error("partition not recorded")
+	}
+	if err := s.SetCachePartition(vm.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.CachePartitioned(vm.ID()) {
+		t.Error("partition not cleared")
+	}
+}
+
+// TestExecThrottleRecoversVictim: throttling a bus-locking attacker gives
+// the co-located victim most of its AccessNum and progress back — the
+// mitigation primitive the respond ladder builds on.
+func TestExecThrottleRecoversVictim(t *testing.T) {
+	run := func(thr float64) (accessMean, work float64) {
+		s := newServer(t)
+		victim, _ := s.AddApp("victim", workload.MustByAbbrev("KM"))
+		atk, _ := attack.NewBusLock(attack.Always{}, 0.7)
+		atkVM, _ := s.AddAttacker("attacker", atk)
+		if thr > 0 {
+			if err := s.SetExecThrottle(atkVM.ID(), thr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunUntil(30, nil)
+		return s.Counter(victim.ID()).AccessSeries().Window(5, 30).Mean(), victim.App().Work()
+	}
+	accFull, workFull := run(0)
+	accThr, workThr := run(0.75)
+	if accThr <= accFull {
+		t.Errorf("victim AccessNum did not recover: full %v, throttled %v", accFull, accThr)
+	}
+	if workThr <= workFull {
+		t.Errorf("victim progress did not recover: full %v, throttled %v", workFull, workThr)
+	}
+	// Duty 0.7 * (1-0.75) leaves an effective duty of ~0.175 — the victim
+	// should be close to clean speed.
+	_, workClean := func() (float64, float64) {
+		s := newServer(t)
+		victim, _ := s.AddApp("victim", workload.MustByAbbrev("KM"))
+		s.RunUntil(30, nil)
+		return 0, victim.App().Work()
+	}()
+	if workThr < 0.6*workClean {
+		t.Errorf("throttled-attacker victim work %v, want >= 60%% of clean %v", workThr, workClean)
+	}
+}
+
+// TestExecThrottleSlowsTarget: throttling an application VM slows that
+// VM itself (the cost side of misdirected mitigation).
+func TestExecThrottleSlowsTarget(t *testing.T) {
+	run := func(thr float64) float64 {
+		s := newServer(t)
+		vm, _ := s.AddApp("v", workload.MustByAbbrev("KM"))
+		if thr > 0 {
+			if err := s.SetExecThrottle(vm.ID(), thr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunUntil(10, nil)
+		return vm.App().Work()
+	}
+	full, half := run(0), run(0.5)
+	ratio := half / full
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("0.5-throttled VM did %.0f%% of clean work, want ~50%%", 100*ratio)
+	}
+}
+
+// TestCachePartitionContainsCleansing: partitioning the cleansing
+// attacker keeps the victim's miss ratio near the clean baseline, but
+// does nothing against bus locking.
+func TestCachePartitionContainsCleansing(t *testing.T) {
+	run := func(mkAtk func() *attack.Attacker, partition bool) (missMean, accMean float64) {
+		s := newServer(t)
+		victim, _ := s.AddApp("victim", workload.MustByAbbrev("KM"))
+		atkVM, _ := s.AddAttacker("attacker", mkAtk())
+		if partition {
+			if err := s.SetCachePartition(atkVM.ID(), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunUntil(30, nil)
+		c := s.Counter(victim.ID())
+		return c.MissSeries().Window(5, 30).Mean(), c.AccessSeries().Window(5, 30).Mean()
+	}
+	cleansing := func() *attack.Attacker {
+		a, _ := attack.NewLLCCleansing(attack.Always{}, 0.6, 2e6)
+		return a
+	}
+	missOpen, _ := run(cleansing, false)
+	missPart, _ := run(cleansing, true)
+	if missPart > 0.5*missOpen {
+		t.Errorf("partition did not contain cleansing: open %v, partitioned %v", missOpen, missPart)
+	}
+
+	buslock := func() *attack.Attacker {
+		a, _ := attack.NewBusLock(attack.Always{}, 0.7)
+		return a
+	}
+	_, accOpen := run(buslock, false)
+	_, accPart := run(buslock, true)
+	if math.Abs(accPart-accOpen) > 0.05*accOpen {
+		t.Errorf("partition affected bus locking: open %v, partitioned %v", accOpen, accPart)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"memdos/internal/experiments"
 	"memdos/internal/metrics"
 	"memdos/internal/pcm"
+	"memdos/internal/respond"
 	"memdos/internal/stream"
 	"memdos/internal/vmm"
 	"memdos/internal/workload"
@@ -160,6 +161,40 @@ var (
 	DecodeIngest = stream.DecodeIngest
 )
 
+// Closed-loop mitigation (internal/respond): the policy engine that
+// turns stream alarms into graduated, reversible hypervisor actions.
+type (
+	// RespondEngine escalates suspect VMs through the mitigation ladder
+	// (throttle steps, cache partition, migration) and backs off with
+	// hysteresis.
+	RespondEngine = respond.Engine
+	// RespondConfig parameterizes the ladder and its timing.
+	RespondConfig = respond.Config
+	// RespondActuator applies mitigation to a hypervisor.
+	RespondActuator = respond.Actuator
+	// RespondSessionState is one session's mitigation state.
+	RespondSessionState = respond.SessionState
+	// RespondAction is one recorded policy transition.
+	RespondAction = respond.Action
+	// RespondLogActuator records would-be actions instead of applying
+	// them (memdosd stand-alone mode).
+	RespondLogActuator = respond.LogActuator
+)
+
+// RespondForceNone unpins an operator-forced mitigation level.
+const RespondForceNone = respond.ForceNone
+
+var (
+	// NewRespondEngine builds a mitigation engine over an actuator.
+	NewRespondEngine = respond.New
+	// DefaultRespondConfig is the conservative default ladder.
+	DefaultRespondConfig = respond.DefaultConfig
+	// AttachRespond pumps a hub's alarm feed into an engine.
+	AttachRespond = respond.Attach
+	// NewRespondLogActuator builds a recording actuator.
+	NewRespondLogActuator = respond.NewLogActuator
+)
+
 // Simulated testbed (substrates).
 type (
 	// Server is the simulated physical machine (hypervisor + VMs).
@@ -250,6 +285,10 @@ type (
 	ExperimentEnv = experiments.Env
 	// DetectorFactory builds a detector for a concrete run.
 	DetectorFactory = experiments.DetectorFactory
+	// ClosedLoopSpec configures the closed-loop mitigation study.
+	ClosedLoopSpec = experiments.ClosedLoopSpec
+	// ClosedLoopResult reports recovered performance under mitigation.
+	ClosedLoopResult = experiments.ClosedLoopResult
 )
 
 // Attack modes for RunSpec.
@@ -285,6 +324,11 @@ var (
 	// MigrationStudy quantifies why migration alone cannot defeat the
 	// attacks (Section II).
 	MigrationStudy = experiments.MigrationStudy
+	// ClosedLoopStudy runs attacker + victim with the respond engine in
+	// the loop and reports the victim's recovered performance.
+	ClosedLoopStudy = experiments.ClosedLoop
+	// DefaultClosedLoopSpec configures the study for one app and attack.
+	DefaultClosedLoopSpec = experiments.DefaultClosedLoopSpec
 	// ContainerStudy runs the Section VIII serverless future-work
 	// scenario.
 	ContainerStudy = experiments.ContainerStudy
