@@ -4,6 +4,8 @@
 //
 // Usage:
 //
+//	memdos [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-parallel N] <command> [args]
+//
 //	memdos apps
 //	memdos trace    -app KM -attack buslock [-out trace.csv]
 //	memdos detect   -app KM -attack buslock [-detector SDS] [-adaptive]
@@ -17,12 +19,15 @@
 //	memdos ablation -which raw|period|microsim
 //	memdos migration [-app KM] [-delay 60]
 //	memdos mitigate [-app KM] [-attack buslock] [-seed 7]
+//	memdos bench    [-quick] [-out BENCH.json] [-baseline BENCH_baseline.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,11 +41,63 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run())
+}
+
+// run parses the global profiling flags, dispatches the subcommand, and
+// returns the exit code. It exists so the profile-writing defers run before
+// the process exits (os.Exit in main would skip them).
+func run() int {
+	global := flag.NewFlagSet("memdos", flag.ExitOnError)
+	global.Usage = usage
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile of the subcommand to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile to this file when the subcommand finishes")
+	parallel := global.Int("parallel", 0, "worker count for experiment sweeps (0 = all CPUs, 1 = serial)")
+	global.Parse(os.Args[1:])
+	if global.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
+	experiments.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memdos: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memdos: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memdos: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memdos: %v\n", err)
+			}
+		}()
+	}
+
+	err := dispatch(cmd, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memdos %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+func dispatch(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "apps":
@@ -73,6 +130,8 @@ func main() {
 		err = cmdContainers(args)
 	case "report":
 		err = cmdReport(args)
+	case "bench":
+		err = cmdBench(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -80,10 +139,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memdos %s: %v\n", cmd, err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
@@ -104,7 +160,13 @@ commands:
   migration  detect-and-migrate response study (why migration alone fails)
   mitigate   closed-loop mitigation study (stream alarms -> respond engine)
   containers serverless/container future-work study (Sec. VIII)
-  report     run the core experiment set, emit a markdown report`)
+  report     run the core experiment set, emit a markdown report
+  bench      performance benchmarks, machine-readable JSON output
+
+global flags (before the command):
+  -cpuprofile FILE   write a CPU profile of the subcommand
+  -memprofile FILE   write a heap profile when the subcommand finishes
+  -parallel N        worker count for experiment sweeps (0 = all CPUs, 1 = serial)`)
 }
 
 func parseMode(s string) (experiments.AttackMode, error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 
@@ -23,6 +24,7 @@ import (
 //	POST /v1/responses/{id}/override  operator pause/resume/force
 //	GET  /metrics          Prometheus text exposition of the hub counters
 //	GET  /healthz          liveness
+//	GET  /debug/pprof/...  live CPU/heap/goroutine profiling (net/http/pprof)
 type server struct {
 	hub      *stream.Hub
 	eng      *respond.Engine // nil when the daemon runs detection-only
@@ -49,6 +51,15 @@ func newServer(hub *stream.Hub, eng *respond.Engine) *server {
 	s.mux.HandleFunc("POST /v1/responses/{id}/override", s.handleOverride)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Live profiling of the always-on daemon. The daemon uses a custom mux,
+	// so the net/http/pprof handlers are wired explicitly rather than via
+	// DefaultServeMux. Operators who expose -addr beyond localhost should
+	// front these with the same access controls as /metrics.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 

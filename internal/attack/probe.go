@@ -65,6 +65,15 @@ func (p *Prober) FindContested(interleave func(), minEvictions int) []int {
 	}
 	var contested []int
 	for set := 0; set < g.Sets; set++ {
+		// Fill saturated the set with attacker lines, so any foreign access
+		// since then must have evicted one: a set still fully occupied by
+		// the prober is untouched, and rechecking it would be Ways all-hit
+		// accesses. Skipping those leaves the contested list and all
+		// per-set eviction decisions identical while shedding the bulk of
+		// the probe's accesses on a mostly-idle cache.
+		if p.c.SetOwnerOccupancy(set, p.owner) == g.Ways {
+			continue
+		}
 		if p.Recheck(set) >= minEvictions {
 			contested = append(contested, set)
 		}

@@ -33,26 +33,50 @@ func (s Stats) DeliveryRatio() float64 {
 	return s.Delivered / s.Requested
 }
 
+// Deliveries is the per-owner delivered access counts of one Resolve. It
+// is a view over the bus's scratch buffer: valid until the next Resolve
+// call, which is the lifetime every per-step caller needs. Owners that
+// requested nothing read as 0.
+type Deliveries struct {
+	d []float64
+}
+
+// Of returns the accesses delivered to owner this step.
+func (d Deliveries) Of(o Owner) float64 {
+	if o >= 0 && int(o) < len(d.d) {
+		return d.d[o]
+	}
+	return 0
+}
+
 // Bus is the shared-bus arbiter. It is not safe for concurrent use.
+//
+// Per-owner state lives in dense slices indexed by Owner (owners are small
+// VM ids): Resolve runs once per simulation step, and with maps it was a
+// measurable share of the step's allocations.
 type Bus struct {
-	// CapacityPerSecond caps total delivered accesses per simulated
-	// second. Zero or negative means uncapped.
+	// capacity caps total delivered accesses per simulated second. Zero or
+	// negative means uncapped.
 	capacity float64
 
-	requests map[Owner]float64
-	locks    map[Owner]float64
-	stats    map[Owner]*Stats
+	requests  []float64 // per-owner accesses wanted this step
+	locks     []float64 // per-owner lock seconds wanted this step
+	stats     []Stats
+	delivered []float64 // scratch returned (as a view) by Resolve
 }
 
 // New returns a bus with the given total bandwidth in accesses per
 // simulated second (<= 0 means uncapped).
 func New(capacityPerSecond float64) *Bus {
-	return &Bus{
-		capacity: capacityPerSecond,
-		requests: make(map[Owner]float64),
-		locks:    make(map[Owner]float64),
-		stats:    make(map[Owner]*Stats),
+	return &Bus{capacity: capacityPerSecond}
+}
+
+// grow extends s with zeros so index n is addressable.
+func grow(s []float64, n int) []float64 {
+	for len(s) <= n {
+		s = append(s, 0)
 	}
+	return s
 }
 
 // RequestAccesses records that owner wants to perform n memory accesses in
@@ -61,6 +85,10 @@ func (b *Bus) RequestAccesses(o Owner, n float64) {
 	if n < 0 {
 		panic(fmt.Sprintf("bus: negative access request %v", n))
 	}
+	if o < 0 {
+		panic(fmt.Sprintf("bus: invalid owner %d", o))
+	}
+	b.requests = grow(b.requests, int(o))
 	b.requests[o] += n
 }
 
@@ -70,7 +98,19 @@ func (b *Bus) RequestLock(o Owner, d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("bus: negative lock request %v", d))
 	}
+	if o < 0 {
+		panic(fmt.Sprintf("bus: invalid owner %d", o))
+	}
+	b.locks = grow(b.locks, int(o))
 	b.locks[o] += d
+}
+
+// lockOf returns owner o's pending lock time without growing the slice.
+func (b *Bus) lockOf(o int) float64 {
+	if o < len(b.locks) {
+		return b.locks[o]
+	}
+	return 0
 }
 
 // Resolve arbitrates the current step of length dt seconds and returns the
@@ -80,8 +120,9 @@ func (b *Bus) RequestLock(o Owner, d float64) {
 // so competing lockers scale down proportionally). After lock scaling, if
 // aggregate demand exceeds the bandwidth cap for the unlocked fraction of
 // the step, deliveries scale down proportionally. Request and lock state
-// are cleared for the next step.
-func (b *Bus) Resolve(dt float64) map[Owner]float64 {
+// are cleared for the next step; the returned view is valid until the next
+// Resolve.
+func (b *Bus) Resolve(dt float64) Deliveries {
 	if dt <= 0 {
 		panic(fmt.Sprintf("bus: non-positive step %v", dt))
 	}
@@ -94,16 +135,19 @@ func (b *Bus) Resolve(dt float64) map[Owner]float64 {
 		lockScale = dt / totalLock
 	}
 
-	delivered := make(map[Owner]float64, len(b.requests))
+	if cap(b.delivered) < len(b.requests) {
+		b.delivered = make([]float64, len(b.requests))
+	}
+	b.delivered = b.delivered[:len(b.requests)]
 	var totalDelivered float64
 	for o, req := range b.requests {
-		othersLock := (totalLock - b.locks[o]) * lockScale
+		othersLock := (totalLock - b.lockOf(o)) * lockScale
 		avail := 1 - othersLock/dt
 		if avail < 0 {
 			avail = 0
 		}
 		d := req * avail
-		delivered[o] = d
+		b.delivered[o] = d
 		totalDelivered += d
 	}
 
@@ -117,46 +161,46 @@ func (b *Bus) Resolve(dt float64) map[Owner]float64 {
 		budget := b.capacity * dt * freeFrac
 		if totalDelivered > budget && totalDelivered > 0 {
 			scale := budget / totalDelivered
-			for o := range delivered {
-				delivered[o] *= scale
+			for o := range b.delivered {
+				b.delivered[o] *= scale
 			}
 		}
 	}
 
 	for o, req := range b.requests {
-		st := b.statsFor(o)
+		st := b.statsFor(Owner(o))
 		st.Requested += req
-		st.Delivered += delivered[o]
+		st.Delivered += b.delivered[o]
 	}
 	for o, d := range b.locks {
-		b.statsFor(o).LockTime += d * lockScale
+		if d != 0 {
+			b.statsFor(Owner(o)).LockTime += d * lockScale
+		}
 	}
 
-	b.requests = make(map[Owner]float64)
-	b.locks = make(map[Owner]float64)
-	return delivered
+	clear(b.requests)
+	clear(b.locks)
+	return Deliveries{d: b.delivered}
 }
 
 func (b *Bus) statsFor(o Owner) *Stats {
-	s := b.stats[o]
-	if s == nil {
-		s = &Stats{}
-		b.stats[o] = s
+	for len(b.stats) <= int(o) {
+		b.stats = append(b.stats, Stats{})
 	}
-	return s
+	return &b.stats[o]
 }
 
 // Stats returns a copy of the accumulated statistics for owner.
 func (b *Bus) Stats(o Owner) Stats {
-	if s := b.stats[o]; s != nil {
-		return *s
+	if o >= 0 && int(o) < len(b.stats) {
+		return b.stats[o]
 	}
 	return Stats{}
 }
 
 // ResetStats zeroes the accumulated statistics.
 func (b *Bus) ResetStats() {
-	for _, s := range b.stats {
-		*s = Stats{}
+	for i := range b.stats {
+		b.stats[i] = Stats{}
 	}
 }

@@ -10,8 +10,8 @@ func TestUncontendedDelivery(t *testing.T) {
 	b := New(0)
 	b.RequestAccesses(1, 1000)
 	got := b.Resolve(0.01)
-	if got[1] != 1000 {
-		t.Errorf("uncontended delivery = %v, want 1000", got[1])
+	if got.Of(1) != 1000 {
+		t.Errorf("uncontended delivery = %v, want 1000", got.Of(1))
 	}
 	if r := b.Stats(1).DeliveryRatio(); r != 1 {
 		t.Errorf("delivery ratio = %v, want 1", r)
@@ -25,8 +25,8 @@ func TestLockThrottlesOthers(t *testing.T) {
 	b.RequestAccesses(1, 1000)
 	b.RequestLock(2, 0.007)
 	got := b.Resolve(0.01)
-	if math.Abs(got[1]-300) > 1e-9 {
-		t.Errorf("victim delivery under 70%% lock = %v, want 300", got[1])
+	if math.Abs(got.Of(1)-300) > 1e-9 {
+		t.Errorf("victim delivery under 70%% lock = %v, want 300", got.Of(1))
 	}
 }
 
@@ -35,8 +35,8 @@ func TestLockDoesNotThrottleSelf(t *testing.T) {
 	b.RequestAccesses(2, 500)
 	b.RequestLock(2, 0.008)
 	got := b.Resolve(0.01)
-	if got[2] != 500 {
-		t.Errorf("locker's own delivery = %v, want 500 (own lock time does not block self)", got[2])
+	if got.Of(2) != 500 {
+		t.Errorf("locker's own delivery = %v, want 500 (own lock time does not block self)", got.Of(2))
 	}
 }
 
@@ -48,8 +48,8 @@ func TestLockDemandClampedToStep(t *testing.T) {
 	b.RequestLock(3, 0.01)
 	b.RequestAccesses(1, 100)
 	got := b.Resolve(0.01)
-	if got[1] != 0 {
-		t.Errorf("victim delivery under saturated lock = %v, want 0", got[1])
+	if got.Of(1) != 0 {
+		t.Errorf("victim delivery under saturated lock = %v, want 0", got.Of(1))
 	}
 	// Each locker is blocked only by the other's (scaled) half.
 	if lt := b.Stats(2).LockTime; math.Abs(lt-0.005) > 1e-12 {
@@ -62,13 +62,13 @@ func TestBandwidthCap(t *testing.T) {
 	b.RequestAccesses(1, 800)
 	b.RequestAccesses(2, 800)
 	got := b.Resolve(0.01)
-	total := got[1] + got[2]
+	total := got.Of(1) + got.Of(2)
 	if math.Abs(total-1000) > 1e-6 {
 		t.Errorf("capped total = %v, want 1000", total)
 	}
 	// Proportional sharing.
-	if math.Abs(got[1]-got[2]) > 1e-9 {
-		t.Errorf("equal demands should split equally: %v vs %v", got[1], got[2])
+	if math.Abs(got.Of(1)-got.Of(2)) > 1e-9 {
+		t.Errorf("equal demands should split equally: %v vs %v", got.Of(1), got.Of(2))
 	}
 }
 
@@ -79,8 +79,8 @@ func TestBandwidthCapShrinksUnderLock(t *testing.T) {
 	got := b.Resolve(0.01)
 	// Victim availability 0.5 -> 1000 requested through arbitration, but
 	// the free-fraction budget is 100000*0.01*0.5 = 500.
-	if math.Abs(got[1]-500) > 1e-6 {
-		t.Errorf("delivery = %v, want 500", got[1])
+	if math.Abs(got.Of(1)-500) > 1e-6 {
+		t.Errorf("delivery = %v, want 500", got.Of(1))
 	}
 }
 
@@ -115,8 +115,8 @@ func TestStateClearedBetweenSteps(t *testing.T) {
 	// Next step: no lock request, full delivery.
 	b.RequestAccesses(1, 100)
 	got := b.Resolve(0.01)
-	if got[1] != 100 {
-		t.Errorf("lock leaked across steps: delivery = %v", got[1])
+	if got.Of(1) != 100 {
+		t.Errorf("lock leaked across steps: delivery = %v", got.Of(1))
 	}
 }
 
@@ -153,7 +153,7 @@ func TestDeliveryNeverExceedsRequest(t *testing.T) {
 		b.RequestAccesses(2, r2)
 		b.RequestLock(3, float64(lockMs%12)/1000)
 		got := b.Resolve(0.01)
-		return got[1] <= r1+1e-9 && got[2] <= r2+1e-9 && got[1] >= 0 && got[2] >= 0
+		return got.Of(1) <= r1+1e-9 && got.Of(2) <= r2+1e-9 && got.Of(1) >= 0 && got.Of(2) >= 0
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Error(err)
@@ -169,9 +169,9 @@ func TestMoreLockMoreThrottle(t *testing.T) {
 		b.RequestAccesses(1, 1000)
 		b.RequestLock(2, lock)
 		got := b.Resolve(0.01)
-		if got[1] > prev+1e-9 {
+		if got.Of(1) > prev+1e-9 {
 			t.Fatalf("delivery increased with more lock time at %v", lock)
 		}
-		prev = got[1]
+		prev = got.Of(1)
 	}
 }

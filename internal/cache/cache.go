@@ -55,11 +55,14 @@ type Owner int32
 const OwnerNone Owner = -1
 
 // line is one cache way: the tag identifies the cached block, owner who
-// loaded it, and lru its recency rank (higher = more recently used).
+// loaded it, and lru its recency rank (higher = more recently used). The
+// rank is 64-bit: a 32-bit clock silently wraps after ~4B accesses, at
+// which point freshly-touched lines look ancient and LRU degenerates (see
+// TestLRUClockCrossesUint32Wrap).
 type line struct {
 	tag   uint64
 	owner Owner
-	lru   uint32
+	lru   uint64
 	valid bool
 }
 
@@ -83,13 +86,19 @@ func (s Stats) MissRatio() float64 {
 // Cache is a set-associative LLC with LRU replacement and per-owner
 // statistics. It is not safe for concurrent use; the simulation engine
 // steps components sequentially.
+//
+// Per-owner statistics live in a dense slice indexed by Owner: owners are
+// small non-negative VM ids, and Access is the innermost loop of the
+// microsimulation (one call per simulated LLC access), so the steady state
+// must stay free of map lookups and allocations.
 type Cache struct {
 	geom     Geometry
 	lines    []line // sets*ways, set-major
-	lruClock uint32
-	stats    map[Owner]*Stats
-	setShift uint // log2(LineSize)
+	lruClock uint64
+	stats    []Stats // dense, indexed by Owner; grown on first access
+	setShift uint    // log2(LineSize)
 	setMask  uint64
+	setsPow2 bool // Sets is a power of two: setIndex masks instead of mods
 	repl     replacer
 	policy   Policy
 }
@@ -112,9 +121,9 @@ func NewWithPolicy(g Geometry, policy Policy, rng *sim.RNG) (*Cache, error) {
 	c := &Cache{
 		geom:     g,
 		lines:    make([]line, g.Sets*g.Ways),
-		stats:    make(map[Owner]*Stats),
 		setShift: shift,
 		setMask:  uint64(g.Sets - 1),
+		setsPow2: g.Sets&(g.Sets-1) == 0,
 		policy:   policy,
 	}
 	for i := range c.lines {
@@ -157,10 +166,11 @@ func MustNew(g Geometry) *Cache {
 func (c *Cache) Geometry() Geometry { return c.geom }
 
 // setIndex maps an address to its set. Non-power-of-two set counts use a
-// modulo; power-of-two counts use the usual mask.
+// modulo; power-of-two counts use the usual mask (the branch is a
+// precomputed flag, not re-derived per access).
 func (c *Cache) setIndex(addr uint64) int {
 	block := addr >> c.setShift
-	if uint64(c.geom.Sets)&(uint64(c.geom.Sets)-1) == 0 {
+	if c.setsPow2 {
 		return int(block & c.setMask)
 	}
 	return int(block % uint64(c.geom.Sets))
@@ -169,52 +179,65 @@ func (c *Cache) setIndex(addr uint64) int {
 // tag returns the block tag for an address.
 func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
 
-// statsFor returns (allocating if needed) the stats record for owner.
+// statsFor returns (growing the dense table if needed) the stats record
+// for owner. The grow path runs at most once per owner; the steady state
+// is a bounds check and an index.
 func (c *Cache) statsFor(o Owner) *Stats {
-	s := c.stats[o]
-	if s == nil {
-		s = &Stats{}
-		c.stats[o] = s
+	if o < 0 {
+		panic(fmt.Sprintf("cache: stats for invalid owner %d", o))
 	}
-	return s
+	if int(o) >= len(c.stats) {
+		grown := make([]Stats, int(o)+1)
+		copy(grown, c.stats)
+		c.stats = grown
+	}
+	return &c.stats[o]
 }
 
 // Access simulates owner touching addr. It returns true on a hit. On a
 // miss the line is filled, evicting the LRU way; if the evicted line
 // belonged to a different owner, that owner's Evicted counter increments.
+//
+// This is the simulation's innermost loop: one fused pass over the set
+// resolves both the hit way and the first invalid (fill) way, owner stats
+// are a dense-slice index, and the steady state performs no allocations.
 func (c *Cache) Access(o Owner, addr uint64) bool {
 	set := c.setIndex(addr)
-	tag := c.tag(addr)
+	tag := addr >> c.setShift
 	base := set * c.geom.Ways
 	ways := c.lines[base : base+c.geom.Ways]
 	st := c.statsFor(o)
 	st.Accesses++
 	c.lruClock++
 
+	// Fused scan: find the hit way and remember the first invalid way in
+	// the same pass.
+	invalid := -1
 	for i := range ways {
 		l := &ways[i]
-		if l.valid && l.tag == tag {
+		if !l.valid {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if l.tag == tag {
 			l.owner = o
 			c.repl.touch(set, i)
 			return true
 		}
 	}
-	// Miss: fill an invalid way if one exists, else ask the replacement
+	// Miss: fill the invalid way if one exists, else ask the replacement
 	// policy for a victim.
-	way := -1
-	for i := range ways {
-		if !ways[i].valid {
-			way = i
-			break
-		}
-	}
+	way := invalid
 	if way < 0 {
 		way = c.repl.victim(set)
 	}
 	victim := &ways[way]
 	st.Misses++
 	if victim.valid && victim.owner != o && victim.owner != OwnerNone {
-		c.statsFor(victim.owner).Evicted++
+		// The victim owner's stats entry exists: it filled this line.
+		c.stats[victim.owner].Evicted++
 	}
 	victim.tag = tag
 	victim.owner = o
@@ -225,21 +248,22 @@ func (c *Cache) Access(o Owner, addr uint64) bool {
 
 // Stats returns a copy of the statistics for owner.
 func (c *Cache) Stats(o Owner) Stats {
-	if s := c.stats[o]; s != nil {
-		return *s
+	if o >= 0 && int(o) < len(c.stats) {
+		return c.stats[o]
 	}
 	return Stats{}
 }
 
 // ResetStats zeroes all per-owner counters without disturbing contents.
 func (c *Cache) ResetStats() {
-	for _, s := range c.stats {
-		*s = Stats{}
+	for i := range c.stats {
+		c.stats[i] = Stats{}
 	}
 }
 
 // Occupancy returns, for each owner present, the number of valid lines it
-// currently holds.
+// currently holds. It allocates its result; hot paths should use
+// OccupancyInto or the per-owner counters below.
 func (c *Cache) Occupancy() map[Owner]int {
 	occ := make(map[Owner]int)
 	for i := range c.lines {
@@ -250,9 +274,45 @@ func (c *Cache) Occupancy() map[Owner]int {
 	return occ
 }
 
+// OccupancyInto counts each owner's valid lines into dst, which is indexed
+// by owner and zeroed first. If dst is too short for the largest owner
+// present it is grown (the only case that allocates); the possibly-grown
+// slice is returned.
+func (c *Cache) OccupancyInto(dst []int) []int {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		if int(l.owner) >= len(dst) {
+			grown := make([]int, int(l.owner)+1)
+			copy(grown, dst)
+			dst = grown
+		}
+		dst[l.owner]++
+	}
+	return dst
+}
+
+// OwnerOccupancy returns the number of valid lines owner currently holds,
+// without allocating.
+func (c *Cache) OwnerOccupancy(o Owner) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].owner == o {
+			n++
+		}
+	}
+	return n
+}
+
 // SetOccupancy returns the number of valid lines each owner holds in one
 // set. The LLC cleansing attacker uses this (via probing, see Prober) to
-// find contested sets.
+// find contested sets. It allocates; the prober's hot path uses
+// SetOwnerOccupancy instead.
 func (c *Cache) SetOccupancy(set int) map[Owner]int {
 	if set < 0 || set >= c.geom.Sets {
 		panic(fmt.Sprintf("cache: set %d out of range", set))
@@ -266,6 +326,24 @@ func (c *Cache) SetOccupancy(set int) map[Owner]int {
 		}
 	}
 	return occ
+}
+
+// SetOwnerOccupancy returns the number of valid lines owner holds in one
+// set, without allocating — the prober calls this once per set per probe
+// round.
+func (c *Cache) SetOwnerOccupancy(set int, o Owner) int {
+	if set < 0 || set >= c.geom.Sets {
+		panic(fmt.Sprintf("cache: set %d out of range", set))
+	}
+	base := set * c.geom.Ways
+	n := 0
+	for i := 0; i < c.geom.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.owner == o {
+			n++
+		}
+	}
+	return n
 }
 
 // Flush invalidates every line. Statistics are preserved.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -364,6 +365,125 @@ func TestPLRUVictimConsistency(t *testing.T) {
 	if err := quick.Check(check, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestLRUClockCrossesUint32Wrap(t *testing.T) {
+	// Regression test for the recency clock width. A uint32 clock wraps
+	// after ~4B accesses: lines touched after the wrap get tiny stamps and
+	// look older than everything resident, so LRU evicts the most recently
+	// used lines. Force stamps to straddle 2^32 and check ordering holds.
+	c := small() // 4 ways
+	addrs := make([]uint64, 5)
+	for i := range addrs {
+		addrs[i] = c.AddrForSet(0, uint64(i))
+	}
+	for _, a := range addrs[:4] {
+		c.Access(1, a)
+	}
+	// Jump the clock so the next two touches land just below 2^32 and the
+	// two after that just above it.
+	c.lruClock = math.MaxUint32 - 2
+	for _, a := range addrs[:4] {
+		if !c.Access(1, a) {
+			t.Fatal("resident line missed while re-touching")
+		}
+	}
+	if c.lruClock <= math.MaxUint32 {
+		t.Fatalf("clock %d did not cross 2^32; test is not exercising the wrap", c.lruClock)
+	}
+	// Insert a 5th line: the victim must be addrs[0] (oldest stamp, just
+	// below the boundary), not one of the post-boundary lines.
+	c.Access(1, addrs[4])
+	for _, a := range addrs[1:] {
+		if !c.Access(1, a) {
+			t.Errorf("line %#x evicted despite being more recent than addrs[0]", a)
+		}
+	}
+	if c.Access(1, addrs[0]) {
+		t.Error("addrs[0] should have been the LRU victim")
+	}
+}
+
+func TestAccessNoAllocs(t *testing.T) {
+	// Access is the microsimulation's innermost loop; its steady state
+	// (owners already seen) must not allocate.
+	c := MustNew(GeometryScaled)
+	for o := Owner(0); o < 4; o++ {
+		c.Access(o, c.AddrForSet(0, uint64(o))) // grow the stats table
+	}
+	var i uint64
+	avg := testing.AllocsPerRun(1000, func() {
+		i++
+		c.Access(Owner(i%4), c.AddrForSet(int(i)%c.Geometry().Sets, i%64))
+	})
+	if avg != 0 {
+		t.Errorf("Access allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	// Mixed hit/miss stream over the scaled geometry with a handful of
+	// owners, matching the microsimulation's access pattern. Run with
+	// -benchmem: the acceptance bar is 0 allocs/op.
+	c := MustNew(GeometryScaled)
+	g := c.Geometry()
+	for o := Owner(0); o < 4; o++ {
+		c.Access(o, c.AddrForSet(0, uint64(o)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := uint64(i)
+		c.Access(Owner(u%4), c.AddrForSet(int(u)%g.Sets, u%64))
+	}
+}
+
+func TestOccupancyIntoMatchesMap(t *testing.T) {
+	c := small()
+	c.Access(1, c.AddrForSet(0, 0))
+	c.Access(1, c.AddrForSet(1, 0))
+	c.Access(2, c.AddrForSet(1, 1))
+	dst := c.OccupancyInto(make([]int, 1)) // too short: must grow
+	want := c.Occupancy()
+	for o, n := range want {
+		if dst[o] != n {
+			t.Errorf("OccupancyInto[%d] = %d, want %d", o, dst[o], n)
+		}
+	}
+	// Reuse without growth, after contents changed.
+	c.Access(3, c.AddrForSet(2, 0))
+	dst = c.OccupancyInto(dst)
+	if dst[3] != 1 || dst[1] != 2 || dst[2] != 1 {
+		t.Errorf("reused OccupancyInto = %v", dst)
+	}
+	if got := c.OwnerOccupancy(1); got != 2 {
+		t.Errorf("OwnerOccupancy(1) = %d, want 2", got)
+	}
+	if got := c.OwnerOccupancy(9); got != 0 {
+		t.Errorf("OwnerOccupancy(9) = %d, want 0", got)
+	}
+}
+
+func TestSetOwnerOccupancyMatchesMap(t *testing.T) {
+	c := small()
+	c.Access(1, c.AddrForSet(3, 0))
+	c.Access(1, c.AddrForSet(3, 1))
+	c.Access(2, c.AddrForSet(3, 2))
+	occ := c.SetOccupancy(3)
+	for o, n := range occ {
+		if got := c.SetOwnerOccupancy(3, o); got != n {
+			t.Errorf("SetOwnerOccupancy(3,%d) = %d, want %d", o, got, n)
+		}
+	}
+	if got := c.SetOwnerOccupancy(3, 7); got != 0 {
+		t.Errorf("SetOwnerOccupancy(3,7) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetOwnerOccupancy out of range did not panic")
+		}
+	}()
+	c.SetOwnerOccupancy(99, 1)
 }
 
 func TestRandomReplacementBluntsDeterministicCleansing(t *testing.T) {

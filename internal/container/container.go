@@ -198,9 +198,13 @@ type StepResult struct {
 	Samples map[string]pcm.Sample
 }
 
-// attackerOwner is the bus owner id used for attack containers (functions
-// use ids >= 0).
-const attackerOwner bus.Owner = -1
+// attackerOwner is the bus owner id used for attack containers. The bus
+// indexes owners densely from 0, so the attacker takes owner 0 and
+// functions map to id+1 (see funcOwner).
+const attackerOwner bus.Owner = 0
+
+// funcOwner maps a function id to its bus owner.
+func funcOwner(id int) bus.Owner { return bus.Owner(id + 1) }
 
 // Step advances the host one tick.
 func (p *Platform) Step() StepResult {
@@ -248,7 +252,7 @@ func (p *Platform) Step() StepResult {
 				stall = 1 / (1 + p.cfg.MissPenalty*excess)
 			}
 			req := demand * stall
-			p.bus.RequestAccesses(bus.Owner(f.id), req)
+			p.bus.RequestAccesses(funcOwner(f.id), req)
 			states = append(states, slotState{f: f, slot: slot, requested: req, miss: m, stall: stall})
 		}
 	}
@@ -265,7 +269,7 @@ func (p *Platform) Step() StepResult {
 	for _, st := range states {
 		share := 0.0
 		if total := reqTotal[st.f.id]; total > 0 {
-			share = st.requested / total * delivered[bus.Owner(st.f.id)]
+			share = st.requested / total * delivered.Of(funcOwner(st.f.id))
 		}
 		ratio := 1.0
 		if st.requested > 0 {

@@ -66,6 +66,14 @@ type TrainConfig struct {
 	Patience int
 	// Seed drives shuffling.
 	Seed uint64
+	// GradShards > 1 enables data-parallel minibatch gradients: each batch
+	// is split into this many shards computed concurrently on model
+	// replicas and reduced in fixed shard order (see parallel.go). 0 or 1
+	// keeps the exact serial trajectory. The result depends only on the
+	// shard count, never on core count or scheduling — but BatchNorm
+	// normalizes per shard, so shard counts are different (deterministic)
+	// trajectories and GradShards is part of the experiment configuration.
+	GradShards int
 	// Verbose, if non-nil, receives one line per epoch.
 	Verbose func(string)
 }
@@ -92,8 +100,11 @@ func Train(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainResult, error
 	if train.Len() == 0 {
 		return TrainResult{}, fmt.Errorf("dnn: empty training set")
 	}
-	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.GradShards < 0 {
 		return TrainResult{}, fmt.Errorf("dnn: invalid training config %+v", cfg)
+	}
+	if cfg.GradShards > 1 {
+		return trainDataParallel(m, train, val, cfg)
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	opt := NewAdam(cfg.InitialLR)

@@ -134,13 +134,27 @@ func ClosedLoop(spec ClosedLoopSpec) (*ClosedLoopResult, error) {
 	}
 
 	res := &ClosedLoopResult{App: spec.App, Mode: spec.Mode}
-	if res.CleanTime, err = closedLoopRun(spec, maxDur, false, false, nil); err != nil {
-		return nil, err
+	// The three arms share nothing but the spec — each builds its own
+	// server, hub and engine — so they run as parallel cells. Only the
+	// mitigated arm writes the engine-side fields of res.
+	arms := []struct {
+		attacked, mitigate bool
+		out                *ClosedLoopResult
+		dst                *float64
+	}{
+		{false, false, nil, &res.CleanTime},
+		{true, false, nil, &res.AttackedTime},
+		{true, true, res, &res.MitigatedTime},
 	}
-	if res.AttackedTime, err = closedLoopRun(spec, maxDur, true, false, nil); err != nil {
-		return nil, err
-	}
-	if res.MitigatedTime, err = closedLoopRun(spec, maxDur, true, true, res); err != nil {
+	err = DefaultRunner().Do(len(arms), func(i int) error {
+		t, err := closedLoopRun(spec, maxDur, arms[i].attacked, arms[i].mitigate, arms[i].out)
+		if err != nil {
+			return err
+		}
+		*arms[i].dst = t
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	res.AttackedNormalized = res.AttackedTime / res.CleanTime

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// These tests pin the Runner's central guarantee: results merged by cell
+// index are byte-identical to a serial run for any worker count. They run
+// each sweep at workers=1 and workers=8 and compare the JSON-encoded
+// outputs, so any shared mutable state between cells shows up either here
+// or (raced) under -race in CI.
+
+// withWorkers runs fn with the process-wide parallelism forced to w and
+// returns the result marshalled to JSON.
+func withWorkers(t *testing.T, w int, fn func() (any, error)) []byte {
+	t.Helper()
+	prev := SetParallelism(w)
+	defer SetParallelism(prev)
+	v, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestCompareDetectorsParallelDeterminism(t *testing.T) {
+	run := func() (any, error) {
+		return CompareDetectors([]string{"KM", "TS"}, StandardFactories(false), BusLock, false, []uint64{5, 6})
+	}
+	serial := withWorkers(t, 1, run)
+	parallel := withWorkers(t, 8, run)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("CompareDetectors output differs between workers=1 and workers=8:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+func TestAlphaSweepParallelDeterminism(t *testing.T) {
+	run := func() (any, error) {
+		return Fig17AlphaSweep("KM", []float64{0.2, 0.8}, []uint64{7, 8})
+	}
+	serial := withWorkers(t, 1, run)
+	parallel := withWorkers(t, 8, run)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("Fig17AlphaSweep output differs between workers=1 and workers=8:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+func TestFig1ParallelDeterminism(t *testing.T) {
+	run := func() (any, error) {
+		return Fig1KStestFalsePositives(120, []uint64{3, 4, 5})
+	}
+	serial := withWorkers(t, 1, run)
+	parallel := withWorkers(t, 8, run)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("Fig1KStestFalsePositives output differs between workers=1 and workers=8:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+func TestRunnerErrorMatchesSerial(t *testing.T) {
+	// The lowest-index failure wins regardless of scheduling, matching
+	// what a serial loop would have returned first.
+	fail := func(i int) error {
+		if i%3 == 0 {
+			return errAt(i)
+		}
+		return nil
+	}
+	serialErr := Runner{Workers: 1}.Do(10, fail)
+	for _, w := range []int{2, 8} {
+		if err := (Runner{Workers: w}).Do(10, fail); err == nil || serialErr == nil || err.Error() != serialErr.Error() {
+			t.Errorf("workers=%d error = %v, serial = %v", w, err, serialErr)
+		}
+	}
+}
+
+type errAt int
+
+func (e errAt) Error() string { return fmt.Sprintf("cell %d failed", int(e)) }

@@ -247,7 +247,10 @@ func Run(spec RunSpec, params core.Params, factories map[string]DetectorFactory)
 }
 
 // profileCache memoizes per-(app, params-ish) profiles; profiling runs are
-// deterministic so one profile per app suffices.
+// deterministic so one profile per app suffices. Entries carry a sync.Once
+// so that when many parallel sweep cells need the same profile, exactly one
+// of them runs the (expensive) profiling simulation and the rest wait on it
+// instead of duplicating the work.
 var profileCache sync.Map
 
 type profileKey struct {
@@ -257,19 +260,26 @@ type profileKey struct {
 	wpFact int
 }
 
+type profileEntry struct {
+	once sync.Once
+	prof core.Profile
+	err  error
+}
+
 // profileFor returns the attack-free profile of the app under the given
 // parameters (Section IV-B.1's safe-start profiling).
 func profileFor(app string, params core.Params) (core.Profile, error) {
 	key := profileKey{app: app, w: params.W, dw: params.DW, alpha: params.Alpha, wpFact: params.WPFactor}
-	if v, ok := profileCache.Load(key); ok {
-		return v.(core.Profile), nil
-	}
-	prof, err := ProfileApp(app, ProfileDuration, params)
-	if err != nil {
-		return core.Profile{}, err
-	}
-	profileCache.Store(key, prof)
-	return prof, nil
+	v, _ := profileCache.LoadOrStore(key, &profileEntry{})
+	e := v.(*profileEntry)
+	e.once.Do(func() {
+		e.prof, e.err = ProfileApp(app, ProfileDuration, params)
+		if e.err != nil {
+			// Let a later caller retry a failed profiling run.
+			profileCache.Delete(key)
+		}
+	})
+	return e.prof, e.err
 }
 
 // ProfileApp runs the app alone on a clean server for dur seconds and

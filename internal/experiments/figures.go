@@ -3,8 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+	"sort"
 
 	"memdos/internal/attack"
 	"memdos/internal/core"
@@ -42,52 +41,80 @@ type Fig1Result struct {
 
 // Fig1KStestFalsePositives runs every application for dur seconds with no
 // attack under the Section III-B KStest protocol and measures per-interval
-// false alarms, averaged over seeds.
+// false alarms, averaged over seeds. The (app, seed) cells run on the
+// parallel Runner; each cell owns its server and seed, so the merged rows
+// are identical to a serial sweep.
 func Fig1KStestFalsePositives(dur float64, seeds []uint64) (*Fig1Result, error) {
 	if dur < 60 {
 		return nil, fmt.Errorf("experiments: Fig1 needs at least 60s runs")
 	}
-	res := &Fig1Result{}
 	ksParams := core.DefaultKSParams()
 	intervalsPerRun := int(dur / ksParams.LR)
-	for _, app := range workload.Abbrevs() {
+	apps := workload.Abbrevs()
+
+	type cell struct {
+		alarmed int
+		// flags/times are only filled by the TeraSort first-seed cell
+		// (the four-panel Fig. 1 time-line).
+		flags []bool
+		times []float64
+	}
+	cells, err := MapCells(DefaultRunner(), len(apps)*len(seeds), func(i int) (cell, error) {
+		app := apps[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		recordFlags := app == "TS" && seed == seeds[0]
+		var out cell
+		cfg := vmm.DefaultConfig()
+		cfg.Seed = seed
+		srv, err := vmm.NewServer(cfg)
+		if err != nil {
+			return out, err
+		}
+		spec := workload.MustByAbbrev(app).Service()
+		victim, err := srv.AddApp("victim", spec)
+		if err != nil {
+			return out, err
+		}
+		det, err := core.NewKSTestDetector(ksParams, func(d float64) {
+			srv.ThrottleOthers(victim.ID(), d)
+		})
+		if err != nil {
+			return out, err
+		}
+		intervalAlarmed := make(map[int]bool)
+		srv.RunUntil(dur, func(step vmm.StepResult) {
+			s, ok := step.Samples[victim.ID()]
+			if !ok {
+				return
+			}
+			for _, d := range det.Push(s) {
+				if recordFlags {
+					out.flags = append(out.flags, det.ConsecutiveRejections() > 0)
+					out.times = append(out.times, d.Time)
+				}
+				if d.Alarm {
+					intervalAlarmed[int(d.Time/ksParams.LR)] = true
+				}
+			}
+		})
+		out.alarmed = len(intervalAlarmed)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1Result{}
+	for ai, app := range apps {
 		alarmed, total := 0, 0
-		for _, seed := range seeds {
-			cfg := vmm.DefaultConfig()
-			cfg.Seed = seed
-			srv, err := vmm.NewServer(cfg)
-			if err != nil {
-				return nil, err
-			}
-			spec := workload.MustByAbbrev(app).Service()
-			victim, err := srv.AddApp("victim", spec)
-			if err != nil {
-				return nil, err
-			}
-			det, err := core.NewKSTestDetector(ksParams, func(d float64) {
-				srv.ThrottleOthers(victim.ID(), d)
-			})
-			if err != nil {
-				return nil, err
-			}
-			intervalAlarmed := make(map[int]bool)
-			srv.RunUntil(dur, func(step vmm.StepResult) {
-				s, ok := step.Samples[victim.ID()]
-				if !ok {
-					return
-				}
-				for _, d := range det.Push(s) {
-					if app == "TS" && seed == seeds[0] {
-						res.TeraSortFlags = append(res.TeraSortFlags, det.ConsecutiveRejections() > 0)
-						res.FlagTimes = append(res.FlagTimes, d.Time)
-					}
-					if d.Alarm {
-						intervalAlarmed[int(d.Time/ksParams.LR)] = true
-					}
-				}
-			})
-			alarmed += len(intervalAlarmed)
+		for si := range seeds {
+			c := cells[ai*len(seeds)+si]
+			alarmed += c.alarmed
 			total += intervalsPerRun
+			if len(c.flags) > 0 {
+				res.TeraSortFlags = c.flags
+				res.FlagTimes = c.times
+			}
 		}
 		res.Rows = append(res.Rows, Fig1Row{App: app, FalseAlarmRate: float64(alarmed) / float64(total)})
 	}
@@ -176,19 +203,14 @@ func buildServerWithWindow(spec RunSpec, attackStart, attackEnd float64) (*vmm.S
 	return srv, victim, truth, nil
 }
 
-// AllMeasurementTraces regenerates every panel of Figs. 2-6.
+// AllMeasurementTraces regenerates every panel of Figs. 2-6, fanning the
+// (app, attack) panels across the parallel Runner.
 func AllMeasurementTraces(seed uint64) ([]*TraceResult, error) {
-	var out []*TraceResult
-	for _, app := range workload.Abbrevs() {
-		for _, mode := range []AttackMode{BusLock, Cleansing} {
-			tr, err := MeasurementTrace(app, mode, seed)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, tr)
-		}
-	}
-	return out, nil
+	apps := workload.Abbrevs()
+	modes := []AttackMode{BusLock, Cleansing}
+	return MapCells(DefaultRunner(), len(apps)*len(modes), func(i int) (*TraceResult, error) {
+		return MeasurementTrace(apps[i/len(modes)], modes[i%len(modes)], seed)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -342,105 +364,74 @@ func CompareDetectors(apps []string, factories map[string]DetectorFactory, mode 
 		grace = Scenario2Grace
 	}
 	// The (app, detector, seed) runs are independent and deterministic,
-	// so fan them out over the CPUs. Profiles and the shared DNN cascade
-	// are memoized behind sync primitives; the first DNN run trains the
-	// cascade, so it is resolved once up front rather than racing inside
-	// the pool.
+	// so fan them out on the shared Runner. Profiles and the shared DNN
+	// cascade are memoized behind sync primitives; the first DNN run
+	// trains the cascade, so it is resolved once up front rather than
+	// racing inside the pool.
 	if _, isDNN := factories["DNN"]; isDNN {
 		if _, err := SharedCascade(); err != nil {
 			return nil, err
 		}
 	}
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
 	type job struct {
 		app, name string
-		factory   DetectorFactory
 		seed      uint64
-	}
-	type outcome struct {
-		app, name string
-		acc       Accuracy
-		err       error
 	}
 	var jobs []job
 	for _, app := range apps {
-		for name, factory := range factories {
+		for _, name := range names {
 			for _, seed := range seeds {
-				jobs = append(jobs, job{app: app, name: name, factory: factory, seed: seed})
+				jobs = append(jobs, job{app: app, name: name, seed: seed})
 			}
 		}
 	}
-	jobCh := make(chan job)
-	outCh := make(chan outcome)
-	workers := runtime.NumCPU()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				spec := DefaultRunSpec(j.app, mode, j.seed)
-				spec.Adaptive = adaptive
-				res, err := Run(spec, params, map[string]DetectorFactory{j.name: j.factory})
-				o := outcome{app: j.app, name: j.name, err: err}
-				if err == nil {
-					o.acc = Score(res, j.name, grace)
-				}
-				outCh <- o
-			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
+	accs, err := MapCells(DefaultRunner(), len(jobs), func(i int) (Accuracy, error) {
+		j := jobs[i]
+		spec := DefaultRunSpec(j.app, mode, j.seed)
+		spec.Adaptive = adaptive
+		res, err := Run(spec, params, map[string]DetectorFactory{j.name: factories[j.name]})
+		if err != nil {
+			return Accuracy{}, err
 		}
-		close(jobCh)
-		wg.Wait()
-		close(outCh)
-	}()
-
-	type key struct{ app, name string }
-	acc := make(map[key][]float64)
-	spc := make(map[key][]float64)
-	dly := make(map[key][]float64)
-	var firstErr error
-	for o := range outCh {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
-		}
-		k := key{o.app, o.name}
-		if !math.IsNaN(o.acc.Recall) {
-			acc[k] = append(acc[k], o.acc.Recall)
-		}
-		if !math.IsNaN(o.acc.Specificity) {
-			spc[k] = append(spc[k], o.acc.Specificity)
-		}
-		if !math.IsNaN(o.acc.MeanDelay) {
-			dly[k] = append(dly[k], o.acc.MeanDelay)
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		return Score(res, j.name, grace), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	// Merge in job order: cells come out sorted (app order, then detector
+	// name), independent of how the pool scheduled the runs.
 	var cells []ComparisonCell
-	for _, app := range apps {
-		for name := range factories {
-			k := key{app, name}
+	for ai, app := range apps {
+		for ni, name := range names {
+			var acc, spc, dly []float64
+			for si := range seeds {
+				a := accs[(ai*len(names)+ni)*len(seeds)+si]
+				if !math.IsNaN(a.Recall) {
+					acc = append(acc, a.Recall)
+				}
+				if !math.IsNaN(a.Specificity) {
+					spc = append(spc, a.Specificity)
+				}
+				if !math.IsNaN(a.MeanDelay) {
+					dly = append(dly, a.MeanDelay)
+				}
+			}
 			cell := ComparisonCell{App: app, Detector: name}
-			if len(acc[k]) > 0 {
-				cell.Recall = metrics.Summarize(acc[k])
+			if len(acc) > 0 {
+				cell.Recall = metrics.Summarize(acc)
 			}
-			if len(spc[k]) > 0 {
-				cell.Spec = metrics.Summarize(spc[k])
+			if len(spc) > 0 {
+				cell.Spec = metrics.Summarize(spc)
 			}
-			cell.Delay = metrics.MeanDelay(dly[k])
-			if len(dly[k]) == 0 {
+			cell.Delay = metrics.MeanDelay(dly)
+			if len(dly) == 0 {
 				cell.Delay = math.NaN()
 			}
 			cells = append(cells, cell)
@@ -471,7 +462,8 @@ type detectorLoad struct {
 }
 
 // Fig14Overhead measures normalized execution times (victim runs to
-// completion; no attack) under each detection scheme.
+// completion; no attack) under each detection scheme. Every (app, load)
+// completion run — including each app's baseline — is one parallel cell.
 func Fig14Overhead(apps []string) ([]Fig14Row, error) {
 	params := core.DefaultParams()
 	loads := []detectorLoad{
@@ -481,18 +473,26 @@ func Fig14Overhead(apps []string) ([]Fig14Row, error) {
 		{name: "DNN", cpu: 0.035},
 		{name: "KStest", cpu: 0.02, throttled: true},
 	}
-	var rows []Fig14Row
-	for _, app := range apps {
-		baseline, err := completionTime(app, 0, false, params)
-		if err != nil {
-			return nil, err
+	// Cell layout per app: index 0 is the no-detector baseline, then one
+	// cell per load.
+	perApp := 1 + len(loads)
+	times, err := MapCells(DefaultRunner(), len(apps)*perApp, func(i int) (float64, error) {
+		app := apps[i/perApp]
+		j := i % perApp
+		if j == 0 {
+			return completionTime(app, 0, false, params)
 		}
-		for _, ld := range loads {
-			withDet, err := completionTime(app, ld.cpu, ld.throttled, params)
-			if err != nil {
-				return nil, err
-			}
-			norm, err := metrics.NormalizedExecTime(baseline, withDet)
+		ld := loads[j-1]
+		return completionTime(app, ld.cpu, ld.throttled, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig14Row
+	for ai, app := range apps {
+		baseline := times[ai*perApp]
+		for li, ld := range loads {
+			norm, err := metrics.NormalizedExecTime(baseline, times[ai*perApp+1+li])
 			if err != nil {
 				return nil, err
 			}

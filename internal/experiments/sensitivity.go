@@ -18,17 +18,22 @@ type SweepPoint struct {
 	Delay       float64
 }
 
-// sweepRun executes Scenario 1 bus-locking runs of the app with the given
-// parameters and factory, over the seeds, and aggregates.
-func sweepRun(app string, params core.Params, factory DetectorFactory, seeds []uint64) (SweepPoint, error) {
+// sweepCell is one Scenario 1 bus-locking run of the app with the given
+// parameters and factory under one seed.
+func sweepCell(app string, params core.Params, factory DetectorFactory, seed uint64) (Accuracy, error) {
+	spec := DefaultRunSpec(app, BusLock, seed)
+	res, err := Run(spec, params, map[string]DetectorFactory{"det": factory})
+	if err != nil {
+		return Accuracy{}, err
+	}
+	return Score(res, "det", EvalGrace), nil
+}
+
+// mergeSweepPoint aggregates the per-seed accuracies of one sweep point,
+// in seed order, exactly as the serial loop did.
+func mergeSweepPoint(accs []Accuracy) SweepPoint {
 	var rec, spc, dly []float64
-	for _, seed := range seeds {
-		spec := DefaultRunSpec(app, BusLock, seed)
-		res, err := Run(spec, params, map[string]DetectorFactory{"det": factory})
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		a := Score(res, "det", EvalGrace)
+	for _, a := range accs {
 		if !math.IsNaN(a.Recall) {
 			rec = append(rec, a.Recall)
 		}
@@ -43,26 +48,47 @@ func sweepRun(app string, params core.Params, factory DetectorFactory, seeds []u
 		Recall:      stats.Mean(rec),
 		Specificity: stats.Mean(spc),
 		Delay:       stats.Mean(dly),
-	}, nil
+	}
+}
+
+// sweepRun executes Scenario 1 bus-locking runs of the app with the given
+// parameters and factory, fanning the seeds across the Runner, and
+// aggregates.
+func sweepRun(app string, params core.Params, factory DetectorFactory, seeds []uint64) (SweepPoint, error) {
+	accs, err := MapCells(DefaultRunner(), len(seeds), func(i int) (Accuracy, error) {
+		return sweepCell(app, params, factory, seeds[i])
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return mergeSweepPoint(accs), nil
 }
 
 // sweepParams runs one sweep over parameter variants for a detector bound
-// to the varied params.
+// to the varied params. The whole (variant x seed) grid is flattened into
+// one parallel fan-out so a sweep saturates the pool even with one seed
+// per point.
 func sweepParams(app string, variants []core.Params, values []float64, factory func(core.Params) DetectorFactory, seeds []uint64) ([]SweepPoint, error) {
 	if len(variants) != len(values) {
 		return nil, fmt.Errorf("experiments: %d variants vs %d values", len(variants), len(values))
 	}
-	out := make([]SweepPoint, len(variants))
-	for i, p := range variants {
+	for _, p := range variants {
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
-		pt, err := sweepRun(app, p, factory(p), seeds)
-		if err != nil {
-			return nil, err
-		}
-		pt.Value = values[i]
-		out[i] = pt
+	}
+	accs, err := MapCells(DefaultRunner(), len(variants)*len(seeds), func(i int) (Accuracy, error) {
+		p := variants[i/len(seeds)]
+		return sweepCell(app, p, factory(p), seeds[i%len(seeds)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(variants))
+	for vi := range variants {
+		pt := mergeSweepPoint(accs[vi*len(seeds) : (vi+1)*len(seeds)])
+		pt.Value = values[vi]
+		out[vi] = pt
 	}
 	return out, nil
 }
@@ -175,7 +201,11 @@ func Fig24DWPSweep(app string, dwps []int, seeds []uint64) ([]SweepPoint, error)
 // cascades (Figs. 20/22 present k-means results).
 var dnnSweepApps = []string{"KM", "BA", "TS"}
 
-// dnnCascadeForW trains a reduced cascade with window size w.
+// dnnCascadeForW trains a reduced cascade with window size w. Sweep
+// cascades are throwaway models retrained per sweep point, so they use
+// data-parallel minibatch gradients (a fixed shard count keeps the result
+// deterministic and core-count-independent); the shared cascade keeps the
+// serial trajectory the accuracy experiments were tuned against.
 func dnnCascadeForW(w int) (*dnn.Cascade, error) {
 	spec := DefaultTrainingSpec()
 	spec.Apps = dnnSweepApps
@@ -183,6 +213,7 @@ func dnnCascadeForW(w int) (*dnn.Cascade, error) {
 	spec.Stride = w
 	spec.RunSeconds = 90
 	spec.Train.Epochs = 8
+	spec.Train.GradShards = 4
 	return TrainCascade(spec)
 }
 
@@ -257,22 +288,28 @@ func AblationRawThreshold(app string, seeds []uint64) (map[string]Accuracy, erro
 		"naive-fine":   func(env *Env) (core.Detector, error) { return core.NewRawThreshold(0.15) },
 		"SDS":          SDSFactory,
 	}
-	rec := map[string][]float64{}
-	spc := map[string][]float64{}
-	for name, factory := range factories {
-		for _, seed := range seeds {
-			res, err := Run(DefaultRunSpec(app, BusLock, seed), params, map[string]DetectorFactory{name: factory})
-			if err != nil {
-				return nil, err
-			}
-			a := Score(res, name, EvalGrace)
-			rec[name] = append(rec[name], a.Recall)
-			spc[name] = append(spc[name], a.Specificity)
+	names := []string{"naive-coarse", "naive-fine", "SDS"}
+	accs, err := MapCells(DefaultRunner(), len(names)*len(seeds), func(i int) (Accuracy, error) {
+		name := names[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		res, err := Run(DefaultRunSpec(app, BusLock, seed), params, map[string]DetectorFactory{name: factories[name]})
+		if err != nil {
+			return Accuracy{}, err
 		}
+		return Score(res, name, EvalGrace), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := map[string]Accuracy{}
-	for name := range factories {
-		out[name] = Accuracy{Recall: stats.Mean(rec[name]), Specificity: stats.Mean(spc[name])}
+	for ni, name := range names {
+		var rec, spc []float64
+		for si := range seeds {
+			a := accs[ni*len(seeds)+si]
+			rec = append(rec, a.Recall)
+			spc = append(spc, a.Specificity)
+		}
+		out[name] = Accuracy{Recall: stats.Mean(rec), Specificity: stats.Mean(spc)}
 	}
 	return out, nil
 }
@@ -286,33 +323,36 @@ func PeriodEstimatorAblation(app string, seeds []uint64) (dftErr, acfErr, dftacf
 		return 0, 0, 0, err2
 	}
 	params := core.DefaultParams()
-	var eDFT, eACF, eBoth []float64
-	for _, seed := range seeds {
-		run := DefaultRunSpec(app, NoAttack, seed)
+	type cell struct{ dft, acf, both float64 }
+	cells, err2 := MapCells(DefaultRunner(), len(seeds), func(i int) (cell, error) {
+		run := DefaultRunSpec(app, NoAttack, seeds[i])
 		run.Duration = 120
-		res, err2 := Run(run, params, nil)
-		if err2 != nil {
-			return 0, 0, 0, err2
+		res, err := Run(run, params, nil)
+		if err != nil {
+			return cell{}, err
 		}
 		ma := stats.MA(res.Access.Values, params.W, params.DW)
 		truth := spec
-		relErr := func(p float64) float64 { return math.Abs(p-truth) / truth }
-
-		if e := periodOrNaN(periodDFTOnly(ma)); !math.IsNaN(e) {
-			eDFT = append(eDFT, relErr(e))
-		} else {
-			eDFT = append(eDFT, 1)
+		relErr := func(p float64) float64 {
+			if math.IsNaN(p) {
+				return 1
+			}
+			return math.Abs(p-truth) / truth
 		}
-		if e := periodOrNaN(periodACFOnly(ma)); !math.IsNaN(e) {
-			eACF = append(eACF, relErr(e))
-		} else {
-			eACF = append(eACF, 1)
-		}
-		if e := periodOrNaN(periodDFTACF(ma)); !math.IsNaN(e) {
-			eBoth = append(eBoth, relErr(e))
-		} else {
-			eBoth = append(eBoth, 1)
-		}
+		return cell{
+			dft:  relErr(periodOrNaN(periodDFTOnly(ma))),
+			acf:  relErr(periodOrNaN(periodACFOnly(ma))),
+			both: relErr(periodOrNaN(periodDFTACF(ma))),
+		}, nil
+	})
+	if err2 != nil {
+		return 0, 0, 0, err2
+	}
+	var eDFT, eACF, eBoth []float64
+	for _, c := range cells {
+		eDFT = append(eDFT, c.dft)
+		eACF = append(eACF, c.acf)
+		eBoth = append(eBoth, c.both)
 	}
 	return stats.Mean(eDFT), stats.Mean(eACF), stats.Mean(eBoth), nil
 }

@@ -115,27 +115,38 @@ func collectWindows(app string, mode AttackMode, dur float64, seed uint64, w, st
 }
 
 // GenerateCascadeSamples produces the labelled training corpus for the
-// cascade across all apps and attack states.
+// cascade across all apps and attack states. Each (app, attack-state)
+// collection run is one parallel cell; the corpus is concatenated in cell
+// order, so the sample sequence is identical to a serial generation pass.
 func GenerateCascadeSamples(spec TrainingSpec) ([]dnn.CascadeSample, error) {
 	if len(spec.Apps) < 2 {
 		return nil, fmt.Errorf("experiments: training needs at least 2 apps")
 	}
-	var samples []dnn.CascadeSample
-	for appIdx, app := range spec.Apps {
-		for _, mode := range []AttackMode{NoAttack, BusLock, Cleansing} {
-			wins, err := collectWindows(app, mode, spec.RunSeconds,
-				spec.Seed+uint64(appIdx)*31+uint64(mode), spec.Window, spec.Stride)
-			if err != nil {
-				return nil, err
-			}
-			for _, w := range wins {
-				samples = append(samples, dnn.CascadeSample{
-					Window:      w,
-					AppLabel:    appIdx,
-					AttackLabel: attackLabel(mode),
-				})
-			}
+	modes := []AttackMode{NoAttack, BusLock, Cleansing}
+	chunks, err := MapCells(DefaultRunner(), len(spec.Apps)*len(modes), func(i int) ([]dnn.CascadeSample, error) {
+		appIdx := i / len(modes)
+		mode := modes[i%len(modes)]
+		wins, err := collectWindows(spec.Apps[appIdx], mode, spec.RunSeconds,
+			spec.Seed+uint64(appIdx)*31+uint64(mode), spec.Window, spec.Stride)
+		if err != nil {
+			return nil, err
 		}
+		out := make([]dnn.CascadeSample, 0, len(wins))
+		for _, w := range wins {
+			out = append(out, dnn.CascadeSample{
+				Window:      w,
+				AppLabel:    appIdx,
+				AttackLabel: attackLabel(mode),
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var samples []dnn.CascadeSample
+	for _, chunk := range chunks {
+		samples = append(samples, chunk...)
 	}
 	return samples, nil
 }

@@ -104,6 +104,22 @@ type Server struct {
 	// partitioned marks VMs whose LLC footprint is pseudo-partitioned
 	// away from the other tenants: their cleansing pressure is contained.
 	partitioned map[VMID]bool
+
+	// Per-step scratch, reused across Step calls so the per-tick hot loop
+	// does not allocate: stepStates is indexed by VMID (VM ids are their
+	// index in vms), stepSamples backs StepResult.Samples.
+	stepStates  []appState
+	stepSamples map[VMID]pcm.Sample
+}
+
+// appState is the per-VM demand bookkeeping of one step's phase 2. The
+// active flag distinguishes "VM ran this step" from the zero value.
+type appState struct {
+	requested float64
+	miss      float64
+	stall     float64
+	thr       float64
+	active    bool
 }
 
 // NewServer returns an empty server.
@@ -244,6 +260,10 @@ func (s *Server) SetCachePartition(id VMID, on bool) error {
 func (s *Server) CachePartitioned(id VMID) bool { return s.partitioned[id] }
 
 // StepResult carries the PCM samples completed during a step, keyed by VM.
+//
+// Samples is a view over the server's per-step scratch map: it is valid
+// until the next Step call and must not be retained across steps (every
+// in-tree caller consumes it inside the step callback).
 type StepResult struct {
 	Time    float64
 	Samples map[VMID]pcm.Sample
@@ -278,13 +298,13 @@ func (s *Server) Step() StepResult {
 	}
 
 	// Phase 2: application demands, attenuated by cleansing stalls.
-	type appState struct {
-		requested float64
-		miss      float64
-		stall     float64
-		thr       float64
+	if len(s.stepStates) < len(s.vms) {
+		s.stepStates = make([]appState, len(s.vms))
 	}
-	states := make(map[VMID]appState, len(s.vms))
+	states := s.stepStates[:len(s.vms)]
+	for i := range states {
+		states[i] = appState{}
+	}
 	for _, vm := range s.vms {
 		if vm.app == nil || s.Throttled(vm.id) || vm.app.Done() {
 			continue
@@ -298,18 +318,22 @@ func (s *Server) Step() StepResult {
 		thr := 1 - s.execThrottle[vm.id]
 		requested := demand * stall * thr
 		s.bus.RequestAccesses(bus.Owner(vm.id), requested)
-		states[vm.id] = appState{requested: requested, miss: m, stall: stall, thr: thr}
+		states[vm.id] = appState{requested: requested, miss: m, stall: stall, thr: thr, active: true}
 	}
 
 	// Phase 3: bus arbitration.
 	delivered := s.bus.Resolve(dt)
 
 	// Phase 4: progress and PCM accounting.
-	res := StepResult{Time: now + dt, Samples: make(map[VMID]pcm.Sample)}
+	if s.stepSamples == nil {
+		s.stepSamples = make(map[VMID]pcm.Sample, len(s.vms))
+	}
+	clear(s.stepSamples)
+	res := StepResult{Time: now + dt, Samples: s.stepSamples}
 	for _, vm := range s.vms {
 		var accesses, misses float64
-		if st, ok := states[vm.id]; ok {
-			d := delivered[bus.Owner(vm.id)]
+		if st := states[vm.id]; st.active {
+			d := delivered.Of(bus.Owner(vm.id))
 			ratio := 1.0
 			if st.requested > 0 {
 				ratio = d / st.requested

@@ -424,3 +424,31 @@ func TestCachePartitionContainsCleansing(t *testing.T) {
 		t.Errorf("partition affected bus locking: open %v, partitioned %v", accOpen, accPart)
 	}
 }
+
+func BenchmarkServerStep(b *testing.B) {
+	// The testbed topology of the Scenario 1 runs: one victim, one
+	// attacker, seven utility VMs. Run with -benchmem — the per-tick loop
+	// should stay close to allocation-free (the only steady-state
+	// allocations are inside workload demand sampling, if any).
+	s := MustNewServer(DefaultConfig())
+	if _, err := s.AddApp("victim", workload.MustByAbbrev("BA").Service()); err != nil {
+		b.Fatal(err)
+	}
+	atk, err := attack.NewBusLock(attack.Always{}, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.AddAttacker("attacker", atk); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.AddApp("util", workload.Utility()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
