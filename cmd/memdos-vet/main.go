@@ -1,0 +1,98 @@
+// Command memdos-vet runs the project's custom static-analysis suite
+// (internal/analysis) over Go packages and fails the build on findings.
+//
+// Usage:
+//
+//	memdos-vet [-checks list] [-json] [-v] [packages...]
+//
+// With no package arguments it analyzes ./.... Exit status is 0 when no
+// active findings remain, 1 on findings, 2 on usage or load errors.
+// Findings are suppressed, with a justification, by a comment on the
+// flagged line or the line above it:
+//
+//	//memdos:ignore <check>[,<check>...] <why this is safe>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"memdos/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("memdos-vet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit a memdos-vet/v1 JSON report instead of text")
+	checksFlag := fs.String("checks", "", "comma-separated check names to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	verbose := fs.Bool("v", false, "also print suppressed findings")
+	fs.Parse(os.Args[1:])
+
+	checks, err := analysis.Select(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := analysis.Load("", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res := analysis.Run(pkgs, checks)
+	relativize(res.Findings)
+	relativize(res.Suppressed)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.NewReport(pkgs, checks, res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Findings {
+			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range res.Suppressed {
+				fmt.Printf("%s (suppressed)\n", d)
+			}
+		}
+		if len(res.Findings) == 0 {
+			fmt.Printf("memdos-vet: %d packages clean (%d findings suppressed with justification)\n",
+				len(pkgs), len(res.Suppressed))
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file paths relative to the working
+// directory so output is stable across machines and clickable locally.
+func relativize(ds []analysis.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i, d := range ds {
+		if rel, err := filepath.Rel(wd, d.File); err == nil && !filepath.IsAbs(rel) {
+			ds[i].File = rel
+		}
+	}
+}

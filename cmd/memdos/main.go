@@ -539,7 +539,8 @@ func cmdReport(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := experiments.WriteReport(w, cfg, time.Now()); err != nil {
+	started := time.Now()
+	if err := experiments.WriteReport(w, cfg, func() time.Duration { return time.Since(started) }); err != nil {
 		return err
 	}
 	if *out != "" {

@@ -1,0 +1,235 @@
+// Package analysis is memdos-vet's static-analysis framework: a small,
+// stdlib-only (go/ast + go/types) driver that runs project-specific
+// checkers over type-checked packages and reports diagnostics.
+//
+// The checkers mechanically enforce the simulator's written contracts
+// (see DESIGN.md "Determinism & analysis contract"): the deterministic
+// core must not read wall clocks or the global math/rand source, must
+// not let map iteration order leak into results, must not compare
+// floats with ==, must register metrics under canonical memdos_* names,
+// and must not copy locks or touch mutex-guarded fields unlocked.
+//
+// A finding can be suppressed where it is provably or deliberately
+// benign with a justification comment on the flagged line or the line
+// above it:
+//
+//	//memdos:ignore <check>[,<check>...] <why this is safe>
+//
+// Suppressions are counted and surfaced (memdos-vet -json) so they stay
+// auditable rather than silent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position so editors and
+// CI annotations can link straight to the offending line.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Checker is one named analysis pass.
+type Checker struct {
+	// Name is the check ID used in -checks selection and ignore comments.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one package to one checker and collects its diagnostics.
+type Pass struct {
+	// Check is the running checker's name; Reportf stamps it on findings.
+	Check string
+	// Pkg is the loaded, type-checked package under analysis.
+	Pkg *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Check:   p.Check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Checkers returns the full suite in canonical order.
+func Checkers() []*Checker {
+	return []*Checker{
+		DeterminismChecker(),
+		MapOrderChecker(),
+		FloatEqChecker(),
+		MetricNameChecker(),
+		LockCopyChecker(),
+	}
+}
+
+// Select resolves comma-separated check names against the full suite.
+func Select(names string) ([]*Checker, error) {
+	all := Checkers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Checker, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Checker
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q (have %s)", n, strings.Join(checkNames(all), ", "))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no checks selected from %q", names)
+	}
+	return out, nil
+}
+
+func checkNames(cs []*Checker) []string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Result is the outcome of running a checker suite over packages.
+type Result struct {
+	// Findings are the active diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are diagnostics neutralized by //memdos:ignore comments,
+	// kept for auditing.
+	Suppressed []Diagnostic
+}
+
+// Run applies every checker to every package, resolves suppressions and
+// returns position-sorted results. The output is deterministic for a
+// given input regardless of checker-internal iteration order.
+func Run(pkgs []*Package, checks []*Checker) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, c := range checks {
+			pass := &Pass{Check: c.Name, Pkg: pkg}
+			pass.report = func(d Diagnostic) {
+				if ignores.covers(d) {
+					res.Suppressed = append(res.Suppressed, d)
+					return
+				}
+				res.Findings = append(res.Findings, d)
+			}
+			c.Run(pass)
+		}
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// IgnoreDirective is the comment prefix that suppresses findings.
+const IgnoreDirective = "//memdos:ignore"
+
+// ignoreIndex maps file -> line -> set of suppressed check names. An
+// ignore comment covers its own line and the line directly below it, so
+// it can trail the flagged statement or sit on its own line above.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (ix ignoreIndex) covers(d Diagnostic) bool {
+	lines := ix[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Line, d.Line - 1} {
+		if lines[ln][d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectIgnores(pkg *Package) ignoreIndex {
+	ix := make(ignoreIndex)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, check := range strings.Split(fields[0], ",") {
+					set[strings.TrimSpace(check)] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// isTestFile reports whether the position is inside a _test.go file.
+// The loader only parses non-test sources, but checkers guard anyway so
+// they stay correct if handed a test file directly.
+func isTestFile(pkg *Package, f *ast.File) bool {
+	return strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go")
+}

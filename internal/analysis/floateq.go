@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqChecker flags == and != between floating-point operands
+// outside _test.go files. Exact float comparison silently encodes an
+// accumulation-order or rounding assumption — the failure mode that
+// corrupts detector statistics without failing a test. Use an epsilon
+// comparison (stats.ApproxEqual) or, where an exact bit-match is the
+// intended semantics (sparsity fast paths, sentinel zeros), suppress
+// with a justification.
+func FloatEqChecker() *Checker {
+	return &Checker{
+		Name: "floateq",
+		Doc:  "flag ==/!= between floating-point operands outside tests",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloatExpr(be.X, info) || isFloatExpr(be.Y, info) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use stats.ApproxEqual (or justify exactness with //memdos:ignore floateq)",
+					be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloatExpr(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

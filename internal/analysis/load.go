@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset is the file set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry full type-checking results.
+	Types *types.Package
+	Info  *types.Info
+	// Deterministic marks packages bound by the determinism contract:
+	// members of DeterministicPackages, or packages that opted in with a
+	// //memdos:deterministic comment (used by analysis testdata).
+	Deterministic bool
+}
+
+// DeterministicPackages is the contract list from DESIGN.md: the
+// simulation core whose outputs must be bit-for-bit reproducible from a
+// seed. The serving layer (stream, respond, metrics), the daemons and
+// the CLIs legitimately read wall clocks and are exempt.
+var DeterministicPackages = map[string]bool{
+	"memdos/internal/attack":      true,
+	"memdos/internal/bus":         true,
+	"memdos/internal/cache":       true,
+	"memdos/internal/core":        true,
+	"memdos/internal/dnn":         true,
+	"memdos/internal/experiments": true,
+	"memdos/internal/pcm":         true,
+	"memdos/internal/period":      true,
+	"memdos/internal/sim":         true,
+	"memdos/internal/stats":       true,
+	"memdos/internal/vmm":         true,
+	"memdos/internal/workload":    true,
+}
+
+// DeterministicPragma lets a package outside the built-in list opt into
+// the determinism contract (analysis testdata packages use this).
+const DeterministicPragma = "//memdos:deterministic"
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool (run in dir; "" = cwd),
+// parses every matched package's non-test sources and type-checks them
+// against compiler export data, so cross-package and stdlib types
+// resolve exactly without re-checking dependencies from source. It
+// shells out to `go list` once for the whole pattern set.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:          t.ImportPath,
+			Dir:           t.Dir,
+			Fset:          fset,
+			Files:         files,
+			Types:         tpkg,
+			Info:          info,
+			Deterministic: DeterministicPackages[t.ImportPath] || hasPragma(files),
+		})
+	}
+	return pkgs, nil
+}
+
+func hasPragma(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == DeterministicPragma || strings.HasPrefix(c.Text, DeterministicPragma+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

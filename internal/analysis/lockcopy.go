@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCopyChecker enforces two mutex hygiene contracts:
+//
+//  1. lock copies — a value whose type (transitively, through struct
+//     and array fields) carries Lock/Unlock methods must not be copied:
+//     not passed or returned by value, not assigned from an existing
+//     value, not produced by a range clause. A copied mutex guards
+//     nothing.
+//
+//  2. guarded fields — a struct field annotated `// guarded by <mu>`
+//     may only be touched inside a function that visibly locks <mu>
+//     (calls <mu>.Lock or <mu>.RLock somewhere in its body, including
+//     deferred pairs) or whose name ends in "Locked" (the convention
+//     for helpers whose callers hold the lock). The analysis is
+//     function-local and conservative by design: it cannot prove the
+//     lock is held at the access, only that the function participates
+//     in the locking discipline at all.
+func LockCopyChecker() *Checker {
+	return &Checker{
+		Name: "lockcopy",
+		Doc:  "flag by-value lock copies and guarded-field access outside locking functions",
+		Run:  runLockCopy,
+	}
+}
+
+func runLockCopy(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		checkLockCopies(pass, f)
+	}
+	checkGuardedFields(pass)
+}
+
+// ---- part 1: by-value lock copies ----
+
+func checkLockCopies(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncType:
+			checkFuncTypeLocks(pass, n)
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, field := range n.Recv.List {
+					reportIfLockType(pass, field.Type, "method receiver")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true // multi-value from call: results are fresh values
+			}
+			for i, rhs := range n.Rhs {
+				if isBlank(n.Lhs[i]) {
+					continue // discarded: no second copy of the lock survives
+				}
+				reportIfLockCopy(pass, rhs, "assignment copies")
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && (tv.IsBuiltin() || tv.IsType()) {
+				return true
+			}
+			for _, arg := range n.Args {
+				reportIfLockCopy(pass, arg, "call passes")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				reportIfLockCopy(pass, res, "return copies")
+			}
+		case *ast.RangeStmt:
+			// The clause's value variable is a definition, so its type
+			// lives in Info.Defs/Uses, not Info.Types — TypeOf checks all.
+			if n.Value != nil && !isBlank(n.Value) {
+				if t := info.TypeOf(n.Value); t != nil {
+					if lock := lockKind(t); lock != "" {
+						pass.Reportf(n.Value.Pos(), "range clause copies a value containing %s per iteration", lock)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkFuncTypeLocks(pass *Pass, ft *ast.FuncType) {
+	for _, field := range ft.Params.List {
+		reportIfLockType(pass, field.Type, "parameter")
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			reportIfLockType(pass, field.Type, "result")
+		}
+	}
+}
+
+func reportIfLockType(pass *Pass, typeExpr ast.Expr, what string) {
+	tv, ok := pass.Pkg.Info.Types[typeExpr]
+	if !ok {
+		return
+	}
+	if lock := lockKind(tv.Type); lock != "" {
+		pass.Reportf(typeExpr.Pos(), "%s receives a value containing %s by value; pass a pointer", what, lock)
+	}
+}
+
+func reportIfLockCopy(pass *Pass, e ast.Expr, how string) {
+	if !isCopySource(e) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if lock := lockKind(tv.Type); lock != "" {
+		pass.Reportf(e.Pos(), "%s a value containing %s; use a pointer", how, lock)
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isCopySource reports whether evaluating e yields a *pre-existing*
+// value (so using it by value duplicates a lock someone may hold), as
+// opposed to a fresh value from a composite literal or call.
+func isCopySource(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isCopySource(e.X)
+	default:
+		return false
+	}
+}
+
+// lockKind returns the name of a Lock/Unlock-bearing type reachable
+// by-value inside t ("" if none).
+func lockKind(t types.Type) string {
+	return lockKindRec(t, make(map[types.Type]bool))
+}
+
+func lockKindRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if hasLockMethods(t) {
+		return typeString(t)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if k := lockKindRec(u.Field(i).Type(), seen); k != "" {
+				return k
+			}
+		}
+	case *types.Array:
+		return lockKindRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+func hasLockMethods(t types.Type) bool {
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false // copying a pointer to a lock is fine
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	var lock, unlock bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Lock":
+			lock = true
+		case "Unlock":
+			unlock = true
+		}
+	}
+	return lock && unlock
+}
+
+// ---- part 2: guarded-field discipline ----
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// checkGuardedFields collects `// guarded by <mu>` field annotations
+// and verifies every access goes through a function that locks <mu>.
+func checkGuardedFields(pass *Pass) {
+	info := pass.Pkg.Info
+	guarded := make(map[types.Object]string) // field object -> mutex name
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // callers hold the lock by convention
+			}
+			locked := lockedMutexNames(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				mu, isGuarded := guarded[selection.Obj()]
+				if !isGuarded || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"%s accesses %s (guarded by %s) but never locks %s; lock it, rename the function *Locked, or justify with //memdos:ignore lockcopy",
+					fd.Name.Name, selection.Obj().Name(), mu, mu)
+				return true
+			})
+		}
+	}
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexNames returns the set of mutex field names on which the
+// body calls Lock or RLock (directly or deferred).
+func lockedMutexNames(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// ReportVersion identifies the memdos-vet JSON output schema.
+const ReportVersion = "memdos-vet/v1"
+
+// Report is the stable machine-readable output of a memdos-vet run
+// (the -json flag). Findings and Suppressed are always present (empty
+// arrays, never null) so consumers can index unconditionally.
+type Report struct {
+	Version  string   `json:"version"`
+	Checks   []string `json:"checks"`
+	Packages int      `json:"packages"`
+	// Findings are active diagnostics; a non-empty list means exit 1.
+	Findings []Diagnostic `json:"findings"`
+	// Suppressed are diagnostics neutralized by //memdos:ignore
+	// comments, surfaced so suppressions stay auditable.
+	Suppressed []Diagnostic `json:"suppressed"`
+}
+
+// NewReport assembles the JSON document for one run.
+func NewReport(pkgs []*Package, checks []*Checker, res Result) Report {
+	r := Report{
+		Version:    ReportVersion,
+		Checks:     checkNames(checks),
+		Packages:   len(pkgs),
+		Findings:   res.Findings,
+		Suppressed: res.Suppressed,
+	}
+	if r.Findings == nil {
+		r.Findings = []Diagnostic{}
+	}
+	if r.Suppressed == nil {
+		r.Suppressed = []Diagnostic{}
+	}
+	return r
+}

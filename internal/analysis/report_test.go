@@ -1,0 +1,90 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"memdos/internal/analysis"
+)
+
+// TestReportSchema pins the memdos-vet/v1 JSON schema: key names, the
+// version string, and the guarantee that findings/suppressed are
+// arrays (never null) so consumers can index unconditionally.
+func TestReportSchema(t *testing.T) {
+	diag := analysis.Diagnostic{
+		Check: "floateq", File: "x.go", Line: 3, Col: 9,
+		Message: "floating-point == comparison",
+	}
+	rep := analysis.NewReport(nil, analysis.Checkers(), analysis.Result{
+		Findings: []analysis.Diagnostic{diag},
+	})
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "checks", "packages", "findings", "suppressed"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report JSON missing %q key; got keys %v", key, keys(doc))
+		}
+	}
+	if string(doc["suppressed"]) != "[]" {
+		t.Errorf("empty suppressed list marshals as %s, want []", doc["suppressed"])
+	}
+
+	var version string
+	if err := json.Unmarshal(doc["version"], &version); err != nil {
+		t.Fatal(err)
+	}
+	if version != analysis.ReportVersion {
+		t.Errorf("version = %q, want %q", version, analysis.ReportVersion)
+	}
+
+	var checks []string
+	if err := json.Unmarshal(doc["checks"], &checks); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"determinism", "maporder", "floateq", "metricname", "lockcopy"}
+	if len(checks) != len(want) {
+		t.Fatalf("checks = %v, want %v", checks, want)
+	}
+	for i := range want {
+		if checks[i] != want[i] {
+			t.Errorf("checks[%d] = %q, want %q", i, checks[i], want[i])
+		}
+	}
+
+	var findings []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["findings"], &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %s, want one entry", doc["findings"])
+	}
+	for _, key := range []string{"check", "file", "line", "col", "message"} {
+		if _, ok := findings[0][key]; !ok {
+			t.Errorf("finding JSON missing %q key; got keys %v", key, keys(findings[0]))
+		}
+	}
+
+	// Round-trip: the same document decodes back into an equal Report.
+	var back analysis.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 1 || back.Findings[0] != diag {
+		t.Errorf("round-trip findings = %+v, want [%+v]", back.Findings, diag)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

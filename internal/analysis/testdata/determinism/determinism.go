@@ -1,0 +1,46 @@
+// Package determinism is golden-file input for the determinism check:
+// wall-clock reads and the global math/rand source are forbidden in
+// packages bound by the determinism contract.
+//
+//memdos:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock three different ways.
+func Elapsed() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock in deterministic package determinism`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+// Roll draws from the shared global source.
+func Roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn uses the global math/rand source in deterministic package determinism`
+}
+
+// Shuffle also hits the global source, via a different function.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the global math/rand source`
+}
+
+// Seeded is fine: constructors of explicitly seeded generators are
+// exempt, and methods on the resulting *rand.Rand are not package-level.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Durations shows that time's types and constants stay usable; only
+// clock reads are forbidden.
+func Durations(d time.Duration) float64 {
+	return d.Seconds() + time.Second.Seconds()
+}
+
+// Justified keeps one wall-clock read alive with an audit trail.
+func Justified() time.Time {
+	return time.Now() //memdos:ignore determinism golden input for suppression behavior // wantsup `time\.Now reads the wall clock`
+}

@@ -1,0 +1,48 @@
+// Package floateq is golden-file input for the floateq check: exact
+// ==/!= between floating-point operands outside tests.
+package floateq
+
+// Converged compares accumulated floats exactly — the classic
+// rounding-order trap.
+func Converged(prev, next float64) bool {
+	return prev == next // want `floating-point == comparison`
+}
+
+// Changed flags float32 and != just the same.
+func Changed(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// MixedWidth flags when only one operand is floating-point after
+// untyped conversion.
+func MixedWidth(x float64) bool {
+	return x == 1 // want `floating-point == comparison`
+}
+
+// IntsFine is exempt: integer equality is exact.
+func IntsFine(a, b int) bool {
+	return a == b
+}
+
+// OrderingFine is exempt: the check targets equality, not ordering.
+func OrderingFine(a, b float64) bool {
+	return a < b
+}
+
+// SentinelZero documents an intentional exact bit-pattern test.
+func SentinelZero(x float64) bool {
+	return x == 0 //memdos:ignore floateq zero is the untouched-sentinel bit pattern, never computed // wantsup `floating-point == comparison`
+}
+
+// PlateauWalk shows the standalone line-above suppression form: stored
+// values are compared bit-identically, never recomputed.
+func PlateauWalk(xs []float64) int {
+	n := 0
+	for i := 1; i < len(xs); i++ {
+		//memdos:ignore floateq stored values compared bit-for-bit, never recomputed
+		if xs[i] == xs[0] { // wantsup `floating-point == comparison`
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+// Package lockcopy is golden-file input for the lockcopy check: both
+// halves — by-value copies of lock-bearing values, and access to
+// `guarded by` fields from functions that never lock.
+package lockcopy
+
+import "sync"
+
+// Guarded couples a mutex with the state it protects.
+type Guarded struct {
+	mu sync.Mutex
+	// count is the number of hits. guarded by mu.
+	count int
+}
+
+// Inc participates in the locking discipline.
+func (g *Guarded) Inc() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.count++
+}
+
+// Peek reads the guarded field without ever locking.
+func (g *Guarded) Peek() int {
+	return g.count // want `Peek accesses count \(guarded by mu\) but never locks mu`
+}
+
+// countLocked is exempt by naming convention: callers hold the lock.
+func (g *Guarded) countLocked() int {
+	return g.count
+}
+
+// Sum drives the convention from the locking side.
+func Sum(gs []*Guarded) int {
+	total := 0
+	for _, g := range gs {
+		g.mu.Lock()
+		total += g.countLocked()
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// Snapshot copies the whole struct — mutex state included: both the
+// by-value result type and the dereferencing return are flagged.
+func Snapshot(g *Guarded) Guarded { // want `result receives a value containing sync\.Mutex by value`
+	return *g // want `return copies a value containing sync\.Mutex`
+}
+
+// ByValue smuggles a lock through a parameter.
+func ByValue(g Guarded) int { // want `parameter receives a value containing sync\.Mutex by value`
+	return 0
+}
+
+// Reassign duplicates an existing value holding a lock.
+func Reassign(g *Guarded) {
+	cp := *g // want `assignment copies a value containing sync\.Mutex`
+	_ = cp
+}
+
+// RangeCopy copies one lock per iteration.
+func RangeCopy(gs []Guarded) {
+	for _, g := range gs { // want `range clause copies a value containing sync\.Mutex per iteration`
+		_ = g
+	}
+}
+
+// Fresh is exempt: composite literals are new values, and pointers to
+// lock-bearing values copy freely.
+func Fresh() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+// Racy tolerates a racy read on purpose, with an audit trail.
+func Racy(g *Guarded) int {
+	return g.count //memdos:ignore lockcopy golden input for suppression behavior // wantsup `Racy accesses count \(guarded by mu\)`
+}

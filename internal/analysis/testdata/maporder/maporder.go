@@ -1,0 +1,64 @@
+// Package maporder is golden-file input for the maporder check: map
+// iteration in a deterministic package is flagged unless the loop body
+// provably cannot observe iteration order.
+//
+//memdos:deterministic
+package maporder
+
+import "sort"
+
+// SumFloats is the canonical bug: float accumulation is neither
+// commutative nor associative, so randomized order leaks into the sum.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `iteration over map map\[string\]float64 has randomized order`
+		total += v
+	}
+	return total
+}
+
+// Collect appends in iteration order, so the slice order is random.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `iteration over map map\[string\]int has randomized order`
+		out = append(out, v)
+	}
+	return out
+}
+
+// CountInts is exempt: integer accumulation commutes even under
+// wrap-around.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert is exempt: every statement writes through a map index.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Clear is exempt: delete commutes across iterations.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// SortedKeys collects then sorts; the analysis cannot see through the
+// later sort, so the loop carries a justified suppression.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //memdos:ignore maporder keys are sorted on the next line before any use // wantsup `iteration over map map\[string\]int has randomized order`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

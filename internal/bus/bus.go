@@ -27,7 +27,7 @@ type Stats struct {
 // DeliveryRatio returns Delivered/Requested, or 1 when nothing was
 // requested (an idle client is not considered throttled).
 func (s Stats) DeliveryRatio() float64 {
-	if s.Requested == 0 {
+	if s.Requested == 0 { //memdos:ignore floateq exact zero means no request was ever recorded; division guard
 		return 1
 	}
 	return s.Delivered / s.Requested
@@ -173,7 +173,7 @@ func (b *Bus) Resolve(dt float64) Deliveries {
 		st.Delivered += b.delivered[o]
 	}
 	for o, d := range b.locks {
-		if d != 0 {
+		if d != 0 { //memdos:ignore floateq exact-zero sparsity fast path: skip owners that never locked
 			b.statsFor(Owner(o)).LockTime += d * lockScale
 		}
 	}

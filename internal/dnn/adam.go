@@ -65,12 +65,16 @@ func (a *Adam) Step(params []*Param) {
 // ReduceLR multiplies the learning rate by 1/cbrt(2), flooring at MinLR,
 // per the paper's plateau schedule. It reports whether the rate changed.
 func (a *Adam) ReduceLR() bool {
+	if a.LR <= a.MinLR {
+		// At (or, if misconfigured, below) the floor: clamp and report
+		// whether the clamp moved the rate.
+		changed := a.LR < a.MinLR
+		a.LR = a.MinLR
+		return changed
+	}
 	next := a.LR / math.Cbrt(2)
 	if next < a.MinLR {
 		next = a.MinLR
-	}
-	if next == a.LR {
-		return false
 	}
 	a.LR = next
 	return true

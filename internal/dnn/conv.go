@@ -77,7 +77,7 @@ func (c *Conv1D) Backward(grad *Tensor) *Tensor {
 			gr := grad.Row(b, t)
 			for o := 0; o < c.Out; o++ {
 				g := gr[o]
-				if g == 0 {
+				if g == 0 { //memdos:ignore floateq exact-zero sparsity fast path; a tolerance would skip real gradient
 					continue
 				}
 				c.b.Grad[o] += g

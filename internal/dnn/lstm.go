@@ -85,7 +85,7 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 				pre[j] = l.b.W[j]
 			}
 			for i, xv := range xr {
-				if xv == 0 {
+				if xv == 0 { //memdos:ignore floateq exact-zero sparsity fast path over the input row
 					continue
 				}
 				base := i * numGates * H
@@ -95,7 +95,7 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 			}
 			if hPrev != nil {
 				for i, hv := range hPrev {
-					if hv == 0 {
+					if hv == 0 { //memdos:ignore floateq exact-zero sparsity fast path over the hidden state
 						continue
 					}
 					base := i * numGates * H
@@ -315,7 +315,7 @@ func (a *Attention) Backward(grad *Tensor) *Tensor {
 		}
 		for t := 0; t < T; t++ {
 			dScore := attn[t] * (dAttn[t] - dot)
-			if dScore == 0 {
+			if dScore == 0 { //memdos:ignore floateq exact-zero sparsity fast path in the attention backward pass
 				continue
 			}
 			hr := h.Row(b, t)

@@ -242,7 +242,7 @@ func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool,
 		}
 	}
 
-	for victim.DoneAt() == 0 && srv.Now() < maxDur {
+	for !victim.Completed() && srv.Now() < maxDur {
 		step := srv.Step()
 		if !mitigate {
 			continue
@@ -277,7 +277,7 @@ func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool,
 		}
 		eng.Tick(step.Time)
 	}
-	if victim.DoneAt() == 0 {
+	if !victim.Completed() {
 		return 0, fmt.Errorf("experiments: victim did not complete %s within %.0fs (attacked=%v mitigate=%v)",
 			spec.App, maxDur, attacked, mitigate)
 	}

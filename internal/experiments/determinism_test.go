@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+
+	"memdos/internal/core"
 )
 
 // These tests pin the Runner's central guarantee: results merged by cell
@@ -83,3 +85,42 @@ func TestRunnerErrorMatchesSerial(t *testing.T) {
 type errAt int
 
 func (e errAt) Error() string { return fmt.Sprintf("cell %d failed", int(e)) }
+
+// TestRunRepeatedByteIdentical pins the determinism contract at the
+// single-run layer: Run with multiple detector factories (whose
+// overhead sum is a float accumulation that once depended on map
+// iteration order) must produce byte-for-byte identical JSON across
+// repeated executions in one process.
+func TestRunRepeatedByteIdentical(t *testing.T) {
+	execute := func() []byte {
+		spec := DefaultRunSpec("KM", BusLock, 7)
+		spec.Duration = 120
+		spec.UtilityVMs = 2
+		factories := map[string]DetectorFactory{
+			"SDS":    SDSFactory,
+			"SDS/B":  SDSBFactory,
+			"KStest": KSFactory,
+		}
+		res, err := Run(spec, core.DefaultParams(), factories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// encoding/json emits map keys sorted, so this serializes the
+		// whole result deterministically iff the values are.
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	first := execute()
+	if len(first) == 0 {
+		t.Fatal("empty result encoding; the comparison is vacuous")
+	}
+	for i := 0; i < 2; i++ {
+		if next := execute(); !bytes.Equal(first, next) {
+			t.Fatalf("execution %d diverged from execution 0 (%d vs %d bytes)", i+1, len(next), len(first))
+		}
+	}
+}

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"memdos/internal/attack"
@@ -211,17 +212,26 @@ func Run(spec RunSpec, params core.Params, factories map[string]DetectorFactory)
 	}
 	env := &Env{Server: srv, Victim: victim, Params: params, Profile: prof}
 
-	detectors := make(map[string]core.Detector, len(factories))
+	// Iterate factories in sorted-name order: the overhead sum is a
+	// float accumulation (order changes the low bits, and through
+	// SetHypervisorLoad those bits feed every VM's progress), and the
+	// first build error must not depend on map iteration order.
+	names := make([]string, 0, len(factories))
+	for name := range factories { //memdos:ignore maporder keys are sorted on the next line before any use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	detectors := make([]core.Detector, len(names))
 	var totalOverhead float64
-	for name, mk := range factories {
-		det, err := mk(env)
+	for i, name := range names {
+		det, err := factories[name](env)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
 		}
-		detectors[name] = det
+		detectors[i] = det
 		totalOverhead += det.Overhead()
 	}
-	if spec.HyperLoad == 0 && totalOverhead > 0 {
+	if spec.HyperLoad == 0 && totalOverhead > 0 { //memdos:ignore floateq HyperLoad 0 is the literal "caller did not choose" sentinel
 		// When the caller did not fix a load explicitly, charge the
 		// combined detector processing cost.
 		if err := srv.SetHypervisorLoad(totalOverhead); err != nil {
@@ -235,8 +245,8 @@ func Run(spec RunSpec, params core.Params, factories map[string]DetectorFactory)
 		if !ok {
 			return
 		}
-		for name, det := range detectors {
-			res.Decisions[name] = append(res.Decisions[name], det.Push(s)...)
+		for i, det := range detectors {
+			res.Decisions[names[i]] = append(res.Decisions[names[i]], det.Push(s)...)
 		}
 	})
 	c := srv.Counter(victim.ID())

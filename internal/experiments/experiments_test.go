@@ -510,7 +510,7 @@ func TestContainerStudyValidation(t *testing.T) {
 func TestWriteReport(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := ReportConfig{Seeds: []uint64{1}, Apps: []string{"KM"}}
-	if err := WriteReport(&buf, cfg, time.Now()); err != nil {
+	if err := WriteReport(&buf, cfg, func() time.Duration { return time.Second }); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -528,7 +528,7 @@ func TestWriteReport(t *testing.T) {
 			t.Errorf("report missing section %q", want)
 		}
 	}
-	if err := WriteReport(&buf, ReportConfig{}, time.Now()); err == nil {
+	if err := WriteReport(&buf, ReportConfig{}, nil); err == nil {
 		t.Error("empty config accepted")
 	}
 }

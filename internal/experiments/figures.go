@@ -374,7 +374,7 @@ func CompareDetectors(apps []string, factories map[string]DetectorFactory, mode 
 		}
 	}
 	names := make([]string, 0, len(factories))
-	for name := range factories {
+	for name := range factories { //memdos:ignore maporder keys are sorted on the next line before any use
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -552,7 +552,7 @@ func completionTime(app string, cpu float64, throttled bool, params core.Params)
 			ks.Push(s)
 		}
 	})
-	if victim.DoneAt() == 0 {
+	if !victim.Completed() {
 		return 0, fmt.Errorf("experiments: %s did not complete within %v s", app, horizon)
 	}
 	return victim.DoneAt(), nil

@@ -31,7 +31,10 @@ func DefaultReportConfig() ReportConfig {
 
 // WriteReport runs the core experiment set and writes a self-contained
 // markdown report to w. It is the programmatic face of `memdos report`.
-func WriteReport(w io.Writer, cfg ReportConfig, started time.Time) error {
+// elapsed supplies the wall time consumed so far (nil omits the
+// footer timing): experiments is a deterministic package, so the clock
+// read stays with the caller.
+func WriteReport(w io.Writer, cfg ReportConfig, elapsed func() time.Duration) error {
 	if len(cfg.Seeds) == 0 || len(cfg.Apps) == 0 {
 		return fmt.Errorf("experiments: report needs seeds and apps")
 	}
@@ -133,7 +136,9 @@ func WriteReport(w io.Writer, cfg ReportConfig, started time.Time) error {
 	}
 	p("* **Substrate calibration**: cleansing miss inflation %.1fx (microsim) vs %.1fx (fast model).\n", micro, fast)
 
-	p("\n_Generated in %s by `memdos report`; every number is deterministic given the seeds._\n",
-		time.Since(started).Round(time.Millisecond))
+	if elapsed != nil {
+		p("\n_Generated in %s by `memdos report`; every number is deterministic given the seeds._\n",
+			elapsed().Round(time.Millisecond))
+	}
 	return nil
 }

@@ -70,7 +70,9 @@ type family struct {
 // text exposition format. Register* calls may happen at any time; WriteTo
 // is safe concurrently with them.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// families and byName hold the registered metric families, in
+	// registration order and by name. guarded by mu.
 	families []family
 	byName   map[string]int
 }

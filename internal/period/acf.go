@@ -25,7 +25,7 @@ func ACF(x []float64, maxLag int) []float64 {
 	}
 	out := make([]float64, maxLag+1)
 	out[0] = 1
-	if c0 == 0 {
+	if c0 == 0 { //memdos:ignore floateq exact zero variance (constant window); division guard
 		return out
 	}
 	// For the short windows SDS/P uses (a few hundred points), the direct
@@ -50,9 +50,11 @@ func isACFPeak(acf []float64, lag int) bool {
 	}
 	l, r := lag-1, lag+1
 	// Walk off equal-valued plateaus.
+	//memdos:ignore floateq plateau walk wants bit-identical stored values, not approximate ones
 	for l > 0 && acf[l] == acf[lag] {
 		l--
 	}
+	//memdos:ignore floateq plateau walk wants bit-identical stored values, not approximate ones
 	for r < len(acf)-1 && acf[r] == acf[lag] {
 		r++
 	}

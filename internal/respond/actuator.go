@@ -37,7 +37,8 @@ type Applied struct {
 // was asked to apply so operators and tests can inspect the would-be
 // actions. All methods are safe for concurrent use and never fail.
 type LogActuator struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// state is the per-session record of applied actions. guarded by mu.
 	state map[string]Applied
 }
 

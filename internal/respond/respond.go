@@ -202,8 +202,10 @@ type Engine struct {
 	migrateLevel   int
 	maxLevel       int
 
-	mu       sync.Mutex
-	now      float64
+	mu sync.Mutex
+	// now is the engine's monotonic clock. guarded by mu.
+	now float64
+	// sessions holds per-VM response state. guarded by mu.
 	sessions map[string]*session
 
 	events           metrics.Counter
@@ -286,8 +288,9 @@ func validName(name string) error {
 	return nil
 }
 
-// session returns the state record for name, creating it at idle.
-func (e *Engine) session(name string) *session {
+// sessionLocked returns the state record for name, creating it at
+// idle. Caller holds e.mu.
+func (e *Engine) sessionLocked(name string) *session {
 	s, ok := e.sessions[name]
 	if !ok {
 		s = &session{name: name, forced: ForceNone, memLevel: 0, memUntil: -1}
@@ -312,7 +315,7 @@ func (e *Engine) Observe(name string, t float64, raised bool) error {
 	now := e.now
 	e.tickLocked(now)
 	e.events.Inc()
-	s := e.session(name)
+	s := e.sessionLocked(name)
 	if raised {
 		if s.alarm {
 			return nil // duplicate raise
@@ -442,7 +445,7 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 	}
 	switch {
 	case level == 0:
-		if s.curDuty != 0 {
+		if s.curDuty != 0 { //memdos:ignore floateq curDuty holds literal 0 or a cfg value copied verbatim; exact no-op detection
 			err := e.act.Throttle(s.name, 0)
 			e.releases.Inc()
 			e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
@@ -450,7 +453,9 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 		}
 	case level <= e.throttleTop:
 		duty := e.cfg.ThrottleDuties[level-1]
-		if s.curDuty != duty {
+		// curDuty only ever holds 0 or a value copied verbatim from
+		// ThrottleDuties, so exact comparison detects no-op transitions.
+		if s.curDuty != duty { //memdos:ignore floateq
 			err := e.act.Throttle(s.name, duty)
 			e.throttles.Inc()
 			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
@@ -459,7 +464,9 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 	case level == e.partitionLevel:
 		// Partitioning stacks on the strongest throttle step.
 		duty := e.cfg.ThrottleDuties[e.throttleTop-1]
-		if s.curDuty != duty {
+		// curDuty only ever holds 0 or a value copied verbatim from
+		// ThrottleDuties, so exact comparison detects no-op transitions.
+		if s.curDuty != duty { //memdos:ignore floateq
 			err := e.act.Throttle(s.name, duty)
 			e.throttles.Inc()
 			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
@@ -487,7 +494,7 @@ func (e *Engine) releaseLocked(s *session, now float64, reason string) {
 		e.record(s, Action{Time: now, Kind: "partition", Level: 0, Reason: reason}, err)
 		s.partitionOn = false
 	}
-	if s.curDuty != 0 {
+	if s.curDuty != 0 { //memdos:ignore floateq curDuty holds literal 0 or a cfg value copied verbatim; exact no-op detection
 		err := e.act.Throttle(s.name, 0)
 		e.releases.Inc()
 		e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
@@ -511,12 +518,12 @@ func (e *Engine) record(s *session, a Action, err error) {
 // Pause releases the session's mitigation and ignores its alarms until
 // Resume — the operator's "hands off this VM" override.
 func (e *Engine) Pause(name string) (SessionState, error) {
-	return e.override(name, func(s *session) {
+	return e.override(name, func(s *session, now float64) {
 		s.paused = true
 		s.forced = ForceNone
-		e.releaseLocked(s, e.now, reasonOverride)
+		e.releaseLocked(s, now, reasonOverride)
 		s.level = 0
-		s.levelSince = e.now
+		s.levelSince = now
 	})
 }
 
@@ -530,42 +537,44 @@ func (e *Engine) Force(name string, level int) (SessionState, error) {
 	if level != ForceNone && (level < 0 || level > top) {
 		return SessionState{}, fmt.Errorf("respond: force level %d outside [0,%d]", level, top)
 	}
-	return e.override(name, func(s *session) {
+	return e.override(name, func(s *session, now float64) {
 		s.paused = false
 		s.forced = level
 		if level == ForceNone {
-			s.levelSince = e.now
+			s.levelSince = now
 			if s.alarm {
-				e.escalate(s, 1, e.now, reasonOverride)
+				e.escalate(s, 1, now, reasonOverride)
 			}
 			return
 		}
-		e.apply(s, level, e.now, reasonOverride)
+		e.apply(s, level, now, reasonOverride)
 	})
 }
 
 // Resume returns the session to automatic policy. If its alarm is still
 // raised, mitigation re-enters the ladder at the first rung.
 func (e *Engine) Resume(name string) (SessionState, error) {
-	return e.override(name, func(s *session) {
+	return e.override(name, func(s *session, now float64) {
 		s.paused = false
 		s.forced = ForceNone
-		s.levelSince = e.now
+		s.levelSince = now
 		if s.alarm {
-			e.escalate(s, 1, e.now, reasonOverride)
+			e.escalate(s, 1, now, reasonOverride)
 		}
 	})
 }
 
-func (e *Engine) override(name string, fn func(*session)) (SessionState, error) {
+// override runs fn under e.mu, handing it the engine's current time so
+// override closures never reach for the guarded clock themselves.
+func (e *Engine) override(name string, fn func(*session, float64)) (SessionState, error) {
 	if err := validName(name); err != nil {
 		return SessionState{}, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.overrides.Inc()
-	s := e.session(name)
-	fn(s)
+	s := e.sessionLocked(name)
+	fn(s, e.now)
 	return e.stateLocked(s), nil
 }
 

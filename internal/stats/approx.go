@@ -1,0 +1,16 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree to within tol, scaled by
+// the larger magnitude (relative for large values, absolute near zero).
+// It is the epsilon comparison memdos-vet's floateq check points to:
+// exact == between computed floats encodes an accumulation-order
+// assumption, while ApproxEqual makes the intended tolerance explicit.
+// NaN equals nothing; infinities equal only themselves.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { //memdos:ignore floateq exact match short-circuits equal infinities, which would otherwise produce NaN below
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -77,7 +77,10 @@ type Session struct {
 	dropped  atomic.Uint64
 
 	// mu guards everything below (shard goroutine writes, info reads).
-	mu           sync.Mutex
+	mu sync.Mutex
+	// tracker, decisions, outOfOrder, alarmsRaised, alarmActive,
+	// lastDecision, hasDecision, recorded and sealed are all
+	// guarded by mu.
 	tracker      incidentTracker
 	decisions    uint64
 	outOfOrder   uint64
@@ -171,14 +174,14 @@ func (s *Session) process(batch []pcm.Sample) {
 	defer s.mu.Unlock()
 	for _, smp := range batch {
 		for _, d := range s.det.Push(smp) {
-			s.fold(d)
+			s.foldLocked(d)
 		}
 	}
 }
 
-// fold absorbs one decision: counters, incident tracking, alarm
+// foldLocked absorbs one decision: counters, incident tracking, alarm
 // transition fan-out. Caller holds s.mu.
-func (s *Session) fold(d core.Decision) {
+func (s *Session) foldLocked(d core.Decision) {
 	s.decisions++
 	s.hub.decisionsTotal.Inc()
 	if s.hub.cfg.RecordDecisions {

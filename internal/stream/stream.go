@@ -126,9 +126,12 @@ type Hub struct {
 	cfg    Config
 	shards []*shard
 
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// profiles maps profile name to factory. guarded by mu.
 	profiles map[string]DetectorFactory
+	// sessions maps session ID to live session. guarded by mu.
 	sessions map[string]*Session
+	// closed marks the hub shut down. guarded by mu.
 	closed   bool
 	closing  atomic.Bool // readable without mu, for cond waiters
 	ingestWG sync.WaitGroup
@@ -139,8 +142,10 @@ type Hub struct {
 	alarmsRaised      metrics.Counter
 	subscriberDropped metrics.Counter
 
-	subMu   sync.Mutex
-	subs    map[int]chan AlarmEvent
+	subMu sync.Mutex
+	// subs holds alarm subscriber channels. guarded by subMu.
+	subs map[int]chan AlarmEvent
+	// nextSub is the next subscriber id. guarded by subMu.
 	nextSub int
 }
 

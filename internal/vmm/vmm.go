@@ -79,6 +79,10 @@ func (v *VM) App() *workload.Instance { return v.app }
 // DoneAt returns the simulated time the VM's finite app completed, or 0.
 func (v *VM) DoneAt() float64 { return v.doneAt }
 
+// Completed reports whether the VM's finite app has completed. Callers
+// should prefer it over comparing DoneAt against the zero sentinel.
+func (v *VM) Completed() bool { return v.doneAt > 0 }
+
 // LastSpeed returns the effective execution speed of the last step.
 func (v *VM) LastSpeed() float64 { return v.lastSpeed }
 
@@ -89,8 +93,12 @@ type Server struct {
 	bus   *bus.Bus
 	rng   *sim.RNG
 
+	// vms, counters, execThrottle and partitioned are dense slices
+	// indexed by VMID (a VM's id is its index in vms): no map iteration
+	// anywhere near the step loop, so per-VM state can never acquire a
+	// randomized visit order, and the hot path stays allocation-free.
 	vms      []*VM
-	counters map[VMID]*pcm.Counter
+	counters []*pcm.Counter
 
 	hyperLoad      float64
 	throttleUntil  float64
@@ -100,10 +108,10 @@ type Server struct {
 	// the mitigation primitive of Zhang et al. (arXiv:1603.03404) — the
 	// suspect VM runs at (1-frac) of its share, which scales an
 	// attacker's effective intensity and an application's progress alike.
-	execThrottle map[VMID]float64
+	execThrottle []float64
 	// partitioned marks VMs whose LLC footprint is pseudo-partitioned
 	// away from the other tenants: their cleansing pressure is contained.
-	partitioned map[VMID]bool
+	partitioned []bool
 
 	// Per-step scratch, reused across Step calls so the per-tick hot loop
 	// does not allocate: stepStates is indexed by VMID (VM ids are their
@@ -135,10 +143,7 @@ func NewServer(cfg Config) (*Server, error) {
 		clock:          sim.NewClock(cfg.TPCM),
 		bus:            bus.New(cfg.BusCapacity),
 		rng:            sim.NewRNG(cfg.Seed),
-		counters:       make(map[VMID]*pcm.Counter),
 		throttleExcept: -1,
-		execThrottle:   make(map[VMID]float64),
-		partitioned:    make(map[VMID]bool),
 	}, nil
 }
 
@@ -158,8 +163,7 @@ func (s *Server) AddApp(name string, spec workload.Spec) (*VM, error) {
 		return nil, err
 	}
 	vm := &VM{id: VMID(len(s.vms)), name: name, app: in, lastSpeed: 1}
-	s.vms = append(s.vms, vm)
-	s.counters[vm.id] = pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM)
+	s.addVM(vm, name)
 	return vm, nil
 }
 
@@ -169,13 +173,25 @@ func (s *Server) AddAttacker(name string, a *attack.Attacker) (*VM, error) {
 		return nil, fmt.Errorf("vmm: nil attacker")
 	}
 	vm := &VM{id: VMID(len(s.vms)), name: name, attacker: a, lastSpeed: 1}
-	s.vms = append(s.vms, vm)
-	s.counters[vm.id] = pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM)
+	s.addVM(vm, name)
 	return vm, nil
 }
 
-// Counter returns the PCM counter of the given VM.
-func (s *Server) Counter(id VMID) *pcm.Counter { return s.counters[id] }
+// addVM registers the VM in the dense per-VM state slices.
+func (s *Server) addVM(vm *VM, name string) {
+	s.vms = append(s.vms, vm)
+	s.counters = append(s.counters, pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM))
+	s.execThrottle = append(s.execThrottle, 0)
+	s.partitioned = append(s.partitioned, false)
+}
+
+// Counter returns the PCM counter of the given VM, or nil if unknown.
+func (s *Server) Counter(id VMID) *pcm.Counter {
+	if int(id) < 0 || int(id) >= len(s.counters) {
+		return nil
+	}
+	return s.counters[id]
+}
 
 // VMs returns the server's VMs in creation order.
 func (s *Server) VMs() []*VM { return append([]*VM(nil), s.vms...) }
@@ -228,16 +244,17 @@ func (s *Server) SetExecThrottle(id VMID, frac float64) error {
 	if int(id) < 0 || int(id) >= len(s.vms) {
 		return fmt.Errorf("vmm: no VM %d", id)
 	}
-	if frac == 0 {
-		delete(s.execThrottle, id)
-	} else {
-		s.execThrottle[id] = frac
-	}
+	s.execThrottle[id] = frac
 	return nil
 }
 
 // ExecThrottle returns the VM's current execution-throttle fraction.
-func (s *Server) ExecThrottle(id VMID) float64 { return s.execThrottle[id] }
+func (s *Server) ExecThrottle(id VMID) float64 {
+	if int(id) < 0 || int(id) >= len(s.execThrottle) {
+		return 0
+	}
+	return s.execThrottle[id]
+}
 
 // SetCachePartition toggles pseudo cache-partitioning around one VM:
 // while on, its LLC evictions are contained to its own partition, so a
@@ -248,16 +265,14 @@ func (s *Server) SetCachePartition(id VMID, on bool) error {
 	if int(id) < 0 || int(id) >= len(s.vms) {
 		return fmt.Errorf("vmm: no VM %d", id)
 	}
-	if on {
-		s.partitioned[id] = true
-	} else {
-		delete(s.partitioned, id)
-	}
+	s.partitioned[id] = on
 	return nil
 }
 
 // CachePartitioned reports whether the VM is pseudo-partitioned.
-func (s *Server) CachePartitioned(id VMID) bool { return s.partitioned[id] }
+func (s *Server) CachePartitioned(id VMID) bool {
+	return int(id) >= 0 && int(id) < len(s.partitioned) && s.partitioned[id]
+}
 
 // StepResult carries the PCM samples completed during a step, keyed by VM.
 //
@@ -341,7 +356,7 @@ func (s *Server) Step() StepResult {
 			speed := st.stall * ratio * (1 - s.hyperLoad) * st.thr
 			vm.lastSpeed = speed
 			vm.app.Advance(dt, speed)
-			if vm.doneAt == 0 && vm.app.Done() {
+			if !vm.Completed() && vm.app.Done() {
 				vm.doneAt = now + dt
 			}
 			accesses = d
