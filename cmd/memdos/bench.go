@@ -172,6 +172,8 @@ var microBenches = []struct {
 	{"bus/resolve", benchBusResolve},
 	{"vmm/step", benchServerStep},
 	{"probe/find-contested", benchFindContested},
+	{"dnn/train-step", benchDNNTrainStep},
+	{"dnn/infer", benchDNNInfer},
 }
 
 // measure runs one micro-benchmark benchReps times and keeps the fastest

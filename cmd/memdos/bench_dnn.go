@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"memdos/internal/dnn"
+	"memdos/internal/sim"
+)
+
+// DNN hot-path benchmarks for the regression gate: one full training
+// step (forward, loss, backward, Adam) and one inference forward over
+// the compact LSTM-FCN. Both run on layer workspace arenas and must stay
+// allocation-free in steady state — the gate's alloc comparison watches
+// that as much as the timing.
+
+// benchDNNSetup builds a warmed stepper over one synthetic batch.
+func benchDNNSetup(b *testing.B) (*dnn.Stepper, *dnn.Tensor, []int) {
+	b.Helper()
+	rng := sim.NewRNG(77)
+	m, err := dnn.NewLSTMFCN(dnn.CompactLSTMFCNConfig(2, 3), sim.NewRNG(78))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch, window = 32, 50
+	x := dnn.NewTensor(batch, window, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.Normal(0, 1)
+	}
+	y := make([]int, batch)
+	for i := range y {
+		y[i] = i % 3
+	}
+	s := dnn.NewStepper(m, dnn.NewAdam(1e-3))
+	s.Step(x, y) // warm-up: builds the lazy LSTM branch and every arena
+	return s, x, y
+}
+
+func benchDNNTrainStep(b *testing.B) {
+	s, x, y := benchDNNSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(x, y)
+	}
+}
+
+func benchDNNInfer(b *testing.B) {
+	s, x, _ := benchDNNSetup(b)
+	s.M.Forward(x, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.M.Forward(x, false)
+	}
+}

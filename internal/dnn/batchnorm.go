@@ -22,6 +22,10 @@ type BatchNorm struct {
 	mean   []float64
 	invStd []float64
 	xhat   []float64
+
+	// workspaces
+	variance, sumDy, sumDyXhat []float64
+	y, dx                      *Tensor
 }
 
 // NewBatchNorm returns a batch-normalization layer over c channels.
@@ -50,7 +54,7 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 		panic(fmt.Sprintf("dnn: batchnorm expects %d channels, got %d", bn.C, x.C))
 	}
 	n := x.B * x.T
-	y := NewTensor(x.B, x.T, x.C)
+	y := ensureTensor(&bn.y, x.B, x.T, x.C)
 	if !train {
 		for i := 0; i < n; i++ {
 			off := i * x.C
@@ -64,8 +68,8 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 	}
 
 	bn.x = x
-	bn.mean = make([]float64, x.C)
-	variance := make([]float64, x.C)
+	bn.mean = ensureFloats(&bn.mean, x.C)
+	variance := ensureFloats(&bn.variance, x.C)
 	for i := 0; i < n; i++ {
 		off := i * x.C
 		for c := 0; c < x.C; c++ {
@@ -82,14 +86,14 @@ func (bn *BatchNorm) Forward(x *Tensor, train bool) *Tensor {
 			variance[c] += d * d
 		}
 	}
-	bn.invStd = make([]float64, x.C)
+	bn.invStd = ensureFloats(&bn.invStd, x.C)
 	for c := range variance {
 		variance[c] /= float64(n)
 		bn.invStd[c] = 1 / math.Sqrt(variance[c]+bn.Eps)
 		bn.runMean[c] = bn.Momentum*bn.runMean[c] + (1-bn.Momentum)*bn.mean[c]
 		bn.runVar[c] = bn.Momentum*bn.runVar[c] + (1-bn.Momentum)*variance[c]
 	}
-	bn.xhat = make([]float64, len(x.Data))
+	bn.xhat = ensureFloats(&bn.xhat, len(x.Data))
 	for i := 0; i < n; i++ {
 		off := i * x.C
 		for c := 0; c < x.C; c++ {
@@ -109,10 +113,10 @@ func (bn *BatchNorm) Backward(grad *Tensor) *Tensor {
 	x := bn.x
 	n := x.B * x.T
 	nf := float64(n)
-	dx := NewTensor(x.B, x.T, x.C)
+	dx := ensureTensor(&bn.dx, x.B, x.T, x.C)
 
-	sumDy := make([]float64, x.C)
-	sumDyXhat := make([]float64, x.C)
+	sumDy := ensureFloats(&bn.sumDy, x.C)
+	sumDyXhat := ensureFloats(&bn.sumDyXhat, x.C)
 	for i := 0; i < n; i++ {
 		off := i * x.C
 		for c := 0; c < x.C; c++ {

@@ -9,10 +9,21 @@ import (
 
 // Conv1D is a temporal convolution with "same" zero padding:
 // y[b][t][o] = bias[o] + sum_{dt, i} w[o][dt][i] * x[b][t+dt-k/2][i].
+//
+// Forward lowers the input to an im2col matrix — row (b, t) holds the K·In
+// receptive field of output position (b, t), zero where the field hangs
+// over the window edge — so the convolution is one [B·T × K·In]·[Out ×
+// K·In]ᵀ GEMM. Backward reuses the same matrix for dW and scatters the
+// GEMM-produced dcols back through col2im. Both buffers live in the layer
+// and are reused across steps.
 type Conv1D struct {
 	In, Out, K int
 	w, b       *Param
 	x          *Tensor
+
+	// workspaces
+	cols, dcols []float64
+	y, dx       *Tensor
 }
 
 // NewConv1D returns a Conv1D with He-uniform initialization (the layers are
@@ -36,64 +47,62 @@ func NewConv1D(in, out, k int, rng *sim.RNG) *Conv1D {
 // widx returns the flat index of w[o][dt][i].
 func (c *Conv1D) widx(o, dt, i int) int { return (o*c.K+dt)*c.In + i }
 
-// Forward computes the padded convolution.
+// im2col fills c.cols with the receptive fields of x; rows are (b, t) in
+// batch-major order, columns are (dt, i). Out-of-window taps stay zero.
+func (c *Conv1D) im2col(x *Tensor) {
+	ki := c.K * c.In
+	cols := ensureFloats(&c.cols, x.B*x.T*ki)
+	half := c.K / 2
+	for b := 0; b < x.B; b++ {
+		for t := 0; t < x.T; t++ {
+			base := (b*x.T + t) * ki
+			for dt := 0; dt < c.K; dt++ {
+				src := t + dt - half
+				if src < 0 || src >= x.T {
+					continue
+				}
+				copy(cols[base+dt*c.In:base+(dt+1)*c.In], x.Row(b, src))
+			}
+		}
+	}
+}
+
+// Forward computes the padded convolution as im2col + GEMM.
 func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
 	if x.C != c.In {
 		panic(fmt.Sprintf("dnn: conv expects %d channels, got %d", c.In, x.C))
 	}
 	c.x = x
-	y := NewTensor(x.B, x.T, c.Out)
-	half := c.K / 2
-	for b := 0; b < x.B; b++ {
-		for t := 0; t < x.T; t++ {
-			yr := y.Row(b, t)
-			for o := 0; o < c.Out; o++ {
-				sum := c.b.W[o]
-				for dt := 0; dt < c.K; dt++ {
-					src := t + dt - half
-					if src < 0 || src >= x.T {
-						continue
-					}
-					xr := x.Row(b, src)
-					base := c.widx(o, dt, 0)
-					for i := 0; i < c.In; i++ {
-						sum += c.w.W[base+i] * xr[i]
-					}
-				}
-				yr[o] = sum
-			}
-		}
-	}
+	c.im2col(x)
+	m, ki := x.B*x.T, c.K*c.In
+	y := ensureTensor(&c.y, x.B, x.T, c.Out)
+	addBiasRows(m, c.Out, y.Data, c.Out, c.b.W)
+	gemmNT(m, c.Out, ki, c.cols, ki, c.w.W, ki, y.Data, c.Out)
 	return y
 }
 
-// Backward accumulates parameter gradients and returns dL/dx.
+// Backward accumulates parameter gradients and returns dL/dx:
+// db += colsums(g), dW += gᵀ·cols, dcols = g·W, dx = col2im(dcols).
 func (c *Conv1D) Backward(grad *Tensor) *Tensor {
 	x := c.x
-	dx := NewTensor(x.B, x.T, c.In)
+	m, ki := x.B*x.T, c.K*c.In
+	colSums(m, c.Out, grad.Data, c.Out, c.b.Grad)
+	gemmTN(c.Out, ki, m, grad.Data, c.Out, c.cols, ki, c.w.Grad, ki)
+
+	dcols := ensureFloats(&c.dcols, m*ki)
+	gemmNN(m, ki, c.Out, grad.Data, c.Out, c.w.W, ki, dcols, ki)
+
+	dx := ensureTensor(&c.dx, x.B, x.T, c.In)
 	half := c.K / 2
 	for b := 0; b < x.B; b++ {
 		for t := 0; t < x.T; t++ {
-			gr := grad.Row(b, t)
-			for o := 0; o < c.Out; o++ {
-				g := gr[o]
-				if g == 0 { //memdos:ignore floateq exact-zero sparsity fast path; a tolerance would skip real gradient
+			base := (b*x.T + t) * ki
+			for dt := 0; dt < c.K; dt++ {
+				src := t + dt - half
+				if src < 0 || src >= x.T {
 					continue
 				}
-				c.b.Grad[o] += g
-				for dt := 0; dt < c.K; dt++ {
-					src := t + dt - half
-					if src < 0 || src >= x.T {
-						continue
-					}
-					xr := x.Row(b, src)
-					dxr := dx.Row(b, src)
-					base := c.widx(o, dt, 0)
-					for i := 0; i < c.In; i++ {
-						c.w.Grad[base+i] += xr[i] * g
-						dxr[i] += c.w.W[base+i] * g
-					}
-				}
+				addTo(dx.Row(b, src), dcols[base+dt*c.In:base+(dt+1)*c.In])
 			}
 		}
 	}

@@ -152,11 +152,14 @@ func TestAttentionGradients(t *testing.T) {
 func TestTransposeRoundTrip(t *testing.T) {
 	rng := sim.NewRNG(8)
 	x := randTensor(rng, 2, 3, 5)
-	y := Transpose{}.Forward(x, false)
+	// Two instances: a Transpose must not read from its own output
+	// workspace, which feeding y back into the first one would do.
+	fwd, back := &Transpose{}, &Transpose{}
+	y := fwd.Forward(x, false)
 	if y.T != 5 || y.C != 3 {
 		t.Fatalf("transpose shape (%d,%d,%d)", y.B, y.T, y.C)
 	}
-	z := Transpose{}.Forward(y, false)
+	z := back.Forward(y, false)
 	for i := range x.Data {
 		if x.Data[i] != z.Data[i] {
 			t.Fatal("double transpose not identity")

@@ -7,8 +7,23 @@ import (
 
 // SoftmaxCrossEntropy couples the softmax activation with categorical
 // cross-entropy loss: Loss(logits, labels) returns the mean loss, the
-// per-sample probabilities, and the gradient w.r.t. the logits.
+// per-sample probabilities, and the gradient w.r.t. the logits. The
+// returned tensors are freshly allocated; hot loops use LossBuffers.
 func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, probs *Tensor, grad *Tensor) {
+	var lb LossBuffers
+	return lb.SoftmaxCrossEntropy(logits, labels)
+}
+
+// LossBuffers holds the probability and gradient workspaces of the
+// softmax cross-entropy head, reused across training steps. The returned
+// tensors are valid until the next call on the same buffers.
+type LossBuffers struct {
+	probs, grad *Tensor
+}
+
+// SoftmaxCrossEntropy is the workspace-reusing form of the package-level
+// function.
+func (lb *LossBuffers) SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, probs *Tensor, grad *Tensor) {
 	if logits.T != 1 {
 		panic(fmt.Sprintf("dnn: loss expects [B][1][K] logits, got T=%d", logits.T))
 	}
@@ -16,8 +31,8 @@ func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, probs *Ten
 		panic(fmt.Sprintf("dnn: %d labels for batch of %d", len(labels), logits.B))
 	}
 	B, K := logits.B, logits.C
-	probs = NewTensor(B, 1, K)
-	grad = NewTensor(B, 1, K)
+	probs = ensureTensor(&lb.probs, B, 1, K)
+	grad = ensureTensor(&lb.grad, B, 1, K)
 	for b := 0; b < B; b++ {
 		if labels[b] < 0 || labels[b] >= K {
 			panic(fmt.Sprintf("dnn: label %d out of range [0,%d)", labels[b], K))

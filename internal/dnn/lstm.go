@@ -10,6 +10,12 @@ import (
 // LSTM is a single-layer long short-term memory network. Forward consumes
 // [B][T][C] and emits every hidden state, [B][T][H]; pair it with Attention
 // (or take the final step) for classification.
+//
+// The recurrence is batched: at each time step the [B × 4H] gate
+// pre-activations are two GEMMs (X_t·Wx and H_{t-1}·Wh, both sliced
+// strided out of the [B][T][*] tensors) plus the broadcast bias, and the
+// backward pass mirrors them as gemmTN (dW) / gemmNT (dX, dH) calls. All
+// state lives in layer workspaces reused across steps.
 type LSTM struct {
 	In, Hidden int
 	wx, wh, b  *Param
@@ -19,6 +25,10 @@ type LSTM struct {
 	hs, cs     *Tensor // hidden and cell states, [B][T][H]
 	gates      []float64
 	batch, tln int
+
+	// workspaces
+	pre, dpre, dh, dc []float64
+	dx                *Tensor
 }
 
 // Gate order within the fused weight matrices.
@@ -55,13 +65,16 @@ func NewLSTM(in, hidden int, rng *sim.RNG) *LSTM {
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-// gateAt returns the cached activation of the given gate at (b, t, h).
-func (l *LSTM) gateAt(b, t, g, h int) float64 {
-	return l.gates[((b*l.tln+t)*numGates+g)*l.Hidden+h]
+// gateRow returns the cached [4H] gate activations of step (b, t).
+func (l *LSTM) gateRow(b, t int) []float64 {
+	g4 := numGates * l.Hidden
+	off := (b*l.tln + t) * g4
+	return l.gates[off : off+g4]
 }
 
-func (l *LSTM) setGate(b, t, g, h int, v float64) {
-	l.gates[((b*l.tln+t)*numGates+g)*l.Hidden+h] = v
+// gateAt returns the cached activation of the given gate at (b, t, h).
+func (l *LSTM) gateAt(b, t, g, h int) float64 {
+	return l.gateRow(b, t)[g*l.Hidden+h]
 }
 
 // Forward runs the recurrence from zero initial state.
@@ -70,51 +83,39 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 		panic(fmt.Sprintf("dnn: lstm expects %d channels, got %d", l.In, x.C))
 	}
 	B, T, H := x.B, x.T, l.Hidden
+	g4 := numGates * H
 	l.x = x
 	l.batch, l.tln = B, T
-	l.hs = NewTensor(B, T, H)
-	l.cs = NewTensor(B, T, H)
-	l.gates = make([]float64, B*T*numGates*H)
+	hs := ensureTensor(&l.hs, B, T, H)
+	cs := ensureTensor(&l.cs, B, T, H)
+	l.gates = ensureFloats(&l.gates, B*T*g4)
+	pre := ensureFloats(&l.pre, B*g4)
 
-	pre := make([]float64, numGates*H)
-	for b := 0; b < B; b++ {
-		var hPrev, cPrev []float64
-		for t := 0; t < T; t++ {
-			xr := x.Row(b, t)
-			for j := range pre {
-				pre[j] = l.b.W[j]
+	for t := 0; t < T; t++ {
+		// pre[b] = bias + x_t[b]·Wx + h_{t-1}[b]·Wh, all b at once.
+		addBiasRows(B, g4, pre, g4, l.b.W)
+		gemmNN(B, g4, l.In, x.Data[t*x.C:], T*x.C, l.wx.W, g4, pre, g4)
+		if t > 0 {
+			gemmNN(B, g4, H, hs.Data[(t-1)*H:], T*H, l.wh.W, g4, pre, g4)
+		}
+		for b := 0; b < B; b++ {
+			pr := pre[b*g4 : (b+1)*g4]
+			gr := l.gateRow(b, t)
+			hr := hs.Row(b, t)
+			cr := cs.Row(b, t)
+			var cPrev []float64
+			if t > 0 {
+				cPrev = cs.Row(b, t-1)
 			}
-			for i, xv := range xr {
-				if xv == 0 { //memdos:ignore floateq exact-zero sparsity fast path over the input row
-					continue
-				}
-				base := i * numGates * H
-				for j := 0; j < numGates*H; j++ {
-					pre[j] += l.wx.W[base+j] * xv
-				}
-			}
-			if hPrev != nil {
-				for i, hv := range hPrev {
-					if hv == 0 { //memdos:ignore floateq exact-zero sparsity fast path over the hidden state
-						continue
-					}
-					base := i * numGates * H
-					for j := 0; j < numGates*H; j++ {
-						pre[j] += l.wh.W[base+j] * hv
-					}
-				}
-			}
-			hr := l.hs.Row(b, t)
-			cr := l.cs.Row(b, t)
 			for h := 0; h < H; h++ {
-				ig := sigmoid(pre[gateI*H+h])
-				fg := sigmoid(pre[gateF*H+h])
-				og := sigmoid(pre[gateO*H+h])
-				gg := math.Tanh(pre[gateG*H+h])
-				l.setGate(b, t, gateI, h, ig)
-				l.setGate(b, t, gateF, h, fg)
-				l.setGate(b, t, gateO, h, og)
-				l.setGate(b, t, gateG, h, gg)
+				ig := sigmoid(pr[gateI*H+h])
+				fg := sigmoid(pr[gateF*H+h])
+				og := sigmoid(pr[gateO*H+h])
+				gg := math.Tanh(pr[gateG*H+h])
+				gr[gateI*H+h] = ig
+				gr[gateF*H+h] = fg
+				gr[gateO*H+h] = og
+				gr[gateG*H+h] = gg
 				c := ig * gg
 				if cPrev != nil {
 					c += fg * cPrev[h]
@@ -122,81 +123,62 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 				cr[h] = c
 				hr[h] = og * math.Tanh(c)
 			}
-			hPrev, cPrev = hr, cr
 		}
 	}
-	return l.hs
+	return hs
 }
 
-// Backward runs truncated-free full BPTT over the stored sequence.
+// Backward runs truncated-free full BPTT over the stored sequence, one
+// batched step at a time.
 func (l *LSTM) Backward(grad *Tensor) *Tensor {
 	x := l.x
 	B, T, H := l.batch, l.tln, l.Hidden
-	dx := NewTensor(B, T, x.C)
-	dh := make([]float64, H)
-	dc := make([]float64, H)
-	dpre := make([]float64, numGates*H)
+	g4 := numGates * H
+	dx := ensureTensor(&l.dx, B, T, x.C)
+	dh := ensureFloats(&l.dh, B*H)
+	dc := ensureFloats(&l.dc, B*H)
+	dpre := ensureFloats(&l.dpre, B*g4)
 
-	for b := 0; b < B; b++ {
-		for i := range dh {
-			dh[i], dc[i] = 0, 0
-		}
-		for t := T - 1; t >= 0; t-- {
+	for t := T - 1; t >= 0; t-- {
+		for b := 0; b < B; b++ {
 			gr := grad.Row(b, t)
 			cr := l.cs.Row(b, t)
+			gate := l.gateRow(b, t)
+			dhr := dh[b*H : (b+1)*H]
+			dcr := dc[b*H : (b+1)*H]
+			dpr := dpre[b*g4 : (b+1)*g4]
 			var cPrev []float64
 			if t > 0 {
 				cPrev = l.cs.Row(b, t-1)
 			}
 			for h := 0; h < H; h++ {
-				dhT := dh[h] + gr[h]
-				ig := l.gateAt(b, t, gateI, h)
-				fg := l.gateAt(b, t, gateF, h)
-				og := l.gateAt(b, t, gateO, h)
-				gg := l.gateAt(b, t, gateG, h)
+				dhT := dhr[h] + gr[h]
+				ig := gate[gateI*H+h]
+				fg := gate[gateF*H+h]
+				og := gate[gateO*H+h]
+				gg := gate[gateG*H+h]
 				tc := math.Tanh(cr[h])
-				dcT := dc[h] + dhT*og*(1-tc*tc)
-				dpre[gateO*H+h] = dhT * tc * og * (1 - og)
-				dpre[gateI*H+h] = dcT * gg * ig * (1 - ig)
-				dpre[gateG*H+h] = dcT * ig * (1 - gg*gg)
+				dcT := dcr[h] + dhT*og*(1-tc*tc)
+				dpr[gateO*H+h] = dhT * tc * og * (1 - og)
+				dpr[gateI*H+h] = dcT * gg * ig * (1 - ig)
+				dpr[gateG*H+h] = dcT * ig * (1 - gg*gg)
 				if cPrev != nil {
-					dpre[gateF*H+h] = dcT * cPrev[h] * fg * (1 - fg)
-					dc[h] = dcT * fg
+					dpr[gateF*H+h] = dcT * cPrev[h] * fg * (1 - fg)
+					dcr[h] = dcT * fg
 				} else {
-					dpre[gateF*H+h] = 0
-					dc[h] = 0
+					dpr[gateF*H+h] = 0
+					dcr[h] = 0
 				}
 			}
-			// Parameter and input gradients.
-			xr := x.Row(b, t)
-			dxr := dx.Row(b, t)
-			for j := 0; j < numGates*H; j++ {
-				l.b.Grad[j] += dpre[j]
-			}
-			for i, xv := range xr {
-				base := i * numGates * H
-				var di float64
-				for j := 0; j < numGates*H; j++ {
-					l.wx.Grad[base+j] += xv * dpre[j]
-					di += l.wx.W[base+j] * dpre[j]
-				}
-				dxr[i] = di
-			}
-			for i := range dh {
-				dh[i] = 0
-			}
-			if t > 0 {
-				hPrev := l.hs.Row(b, t-1)
-				for i, hv := range hPrev {
-					base := i * numGates * H
-					var dhi float64
-					for j := 0; j < numGates*H; j++ {
-						l.wh.Grad[base+j] += hv * dpre[j]
-						dhi += l.wh.W[base+j] * dpre[j]
-					}
-					dh[i] = dhi
-				}
-			}
+		}
+		// Parameter, input and recurrent gradients for the whole batch.
+		colSums(B, g4, dpre, g4, l.b.Grad)
+		gemmTN(l.In, g4, B, x.Data[t*x.C:], T*x.C, dpre, g4, l.wx.Grad, g4)
+		gemmNT(B, l.In, g4, dpre, g4, l.wx.W, g4, dx.Data[t*x.C:], T*x.C)
+		clear(dh)
+		if t > 0 {
+			gemmTN(H, g4, B, l.hs.Data[(t-1)*H:], T*H, dpre, g4, l.wh.Grad, g4)
+			gemmNT(B, H, g4, dpre, g4, l.wh.W, g4, dh, H)
 		}
 	}
 	return dx
@@ -208,13 +190,21 @@ func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
 // Attention pools a hidden-state sequence [B][T][H] into a context vector
 // [B][1][H] with additive (Bahdanau-style) attention:
 // score_t = v . tanh(Wa h_t), a = softmax(score), ctx = sum_t a_t h_t.
+//
+// The score network runs as one [B·T × H] GEMM against Wa with a fused
+// tanh+dot epilogue, and the context/gradient reductions over time are
+// GEMV calls against each sample's [T × H] hidden block.
 type Attention struct {
 	H      int
 	wa, va *Param
 
 	h     *Tensor
 	tanhW *Tensor
-	attn  [][]float64
+	attn  []float64 // flat [B][T] softmax weights
+
+	// workspaces
+	y, dh *Tensor
+	dAttn []float64
 }
 
 // NewAttention returns an attention layer over H-dimensional states.
@@ -241,24 +231,16 @@ func (a *Attention) Forward(h *Tensor, train bool) *Tensor {
 	}
 	B, T, H := h.B, h.T, a.H
 	a.h = h
-	a.tanhW = NewTensor(B, T, H)
-	a.attn = make([][]float64, B)
-	y := NewTensor(B, 1, H)
+	// Score pre-activations for every (b, t) in one GEMM, then the fused
+	// tanh + v-dot epilogue per row.
+	tw := ensureTensor(&a.tanhW, B, T, H)
+	gemmNN(B*T, H, H, h.Data, H, a.wa.W, H, tw.Data, H)
+	attn := ensureFloats(&a.attn, B*T)
+	y := ensureTensor(&a.y, B, 1, H)
 	for b := 0; b < B; b++ {
-		scores := make([]float64, T)
+		scores := attn[b*T : (b+1)*T]
 		for t := 0; t < T; t++ {
-			hr := h.Row(b, t)
-			tw := a.tanhW.Row(b, t)
-			var score float64
-			for o := 0; o < H; o++ {
-				var s float64
-				for i := 0; i < H; i++ {
-					s += a.wa.W[i*H+o] * hr[i]
-				}
-				tw[o] = math.Tanh(s)
-				score += a.va.W[o] * tw[o]
-			}
-			scores[t] = score
+			scores[t] = tanhRowDot(tw.Row(b, t), a.va.W)
 		}
 		// softmax
 		maxS := scores[0]
@@ -275,14 +257,8 @@ func (a *Attention) Forward(h *Tensor, train bool) *Tensor {
 		for t := range scores {
 			scores[t] /= sum
 		}
-		a.attn[b] = scores
-		yr := y.Row(b, 0)
-		for t := 0; t < T; t++ {
-			hr := h.Row(b, t)
-			for i := 0; i < H; i++ {
-				yr[i] += scores[t] * hr[i]
-			}
-		}
+		// ctx = attnᵀ · H_b as a transposed GEMV over the hidden block.
+		gemvT(T, H, h.Data[b*T*H:], H, scores, y.Row(b, 0))
 	}
 	return y
 }
@@ -292,45 +268,34 @@ func (a *Attention) Forward(h *Tensor, train bool) *Tensor {
 func (a *Attention) Backward(grad *Tensor) *Tensor {
 	h := a.h
 	B, T, H := h.B, h.T, a.H
-	dh := NewTensor(B, T, H)
+	dh := ensureTensor(&a.dh, B, T, H)
+	dAttn := ensureFloats(&a.dAttn, T)
 	for b := 0; b < B; b++ {
 		gr := grad.Row(b, 0)
-		attn := a.attn[b]
-		// d/d attn_t = gr . h_t; d/d h_t (direct) = attn_t * gr.
-		dAttn := make([]float64, T)
+		attn := a.attn[b*T : (b+1)*T]
+		// d/d attn = H_b · gr (a GEMV); d/d h_t (direct) = attn_t * gr.
+		clear(dAttn)
+		gemv(T, H, h.Data[b*T*H:], H, gr, dAttn)
 		for t := 0; t < T; t++ {
-			hr := h.Row(b, t)
-			dhr := dh.Row(b, t)
-			var g float64
-			for i := 0; i < H; i++ {
-				g += gr[i] * hr[i]
-				dhr[i] += attn[t] * gr[i]
-			}
-			dAttn[t] = g
+			axpy(attn[t], gr, dh.Row(b, t))
 		}
 		// Softmax backward: dScore_t = attn_t * (dAttn_t - sum_j attn_j dAttn_j).
-		var dot float64
-		for t := 0; t < T; t++ {
-			dot += attn[t] * dAttn[t]
-		}
+		dot := dotVec(attn, dAttn)
 		for t := 0; t < T; t++ {
 			dScore := attn[t] * (dAttn[t] - dot)
-			if dScore == 0 { //memdos:ignore floateq exact-zero sparsity fast path in the attention backward pass
-				continue
-			}
-			hr := h.Row(b, t)
-			tw := a.tanhW.Row(b, t)
-			dhr := dh.Row(b, t)
+			// va gradient, and tanhW overwritten in place with
+			// dTanh = dScore * va * (1 - tanh²) for the two GEMMs below.
+			twr := a.tanhW.Row(b, t)
 			for o := 0; o < H; o++ {
-				a.va.Grad[o] += dScore * tw[o]
-				dTanh := dScore * a.va.W[o] * (1 - tw[o]*tw[o])
-				for i := 0; i < H; i++ {
-					a.wa.Grad[i*H+o] += dTanh * hr[i]
-					dhr[i] += dTanh * a.wa.W[i*H+o]
-				}
+				tv := twr[o]
+				a.va.Grad[o] += dScore * tv
+				twr[o] = dScore * a.va.W[o] * (1 - tv*tv)
 			}
 		}
 	}
+	// wa.Grad += hᵀ·dTanh and dh += dTanh·Waᵀ over all (b, t) rows.
+	gemmTN(H, H, B*T, h.Data, H, a.tanhW.Data, H, a.wa.Grad, H)
+	gemmNT(B*T, H, H, a.tanhW.Data, H, a.wa.W, H, dh.Data, H)
 	return dh
 }
 

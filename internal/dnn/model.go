@@ -100,6 +100,9 @@ type LSTMFCN struct {
 
 	// backward bookkeeping
 	fcnC, lstmC int
+
+	// workspaces for the branch join
+	joint, gF, gCtx *Tensor
 }
 
 // NewLSTMFCN builds the model with the given configuration. The window
@@ -109,21 +112,25 @@ func NewLSTMFCN(cfg LSTMFCNConfig, rng *sim.RNG) (*LSTMFCN, error) {
 		return nil, err
 	}
 	m := &LSTMFCN{cfg: cfg}
+	// The ReLUs and the dropout run in place on the arena path: their
+	// upstream workspace (batch-norm output, attention context) is dead
+	// after the activation, so mutating it saves a full tensor pass.
 	m.conv1 = NewConv1D(cfg.Channels, cfg.ConvFilters[0], cfg.Kernels[0], rng.Split())
 	m.bn1 = NewBatchNorm(cfg.ConvFilters[0])
-	m.relu1 = &ReLU{}
+	m.relu1 = &ReLU{InPlace: true}
 	m.conv2 = NewConv1D(cfg.ConvFilters[0], cfg.ConvFilters[1], cfg.Kernels[1], rng.Split())
 	m.bn2 = NewBatchNorm(cfg.ConvFilters[1])
-	m.relu2 = &ReLU{}
+	m.relu2 = &ReLU{InPlace: true}
 	m.conv3 = NewConv1D(cfg.ConvFilters[1], cfg.ConvFilters[2], cfg.Kernels[2], rng.Split())
 	m.bn3 = NewBatchNorm(cfg.ConvFilters[2])
-	m.relu3 = &ReLU{}
+	m.relu3 = &ReLU{InPlace: true}
 	m.pool = &GlobalAvgPool{}
 
 	// The LSTM input size is the window length after the dimension
 	// shuffle; it is data-dependent, so the LSTM is built lazily on the
 	// first Forward. See ensureLSTM.
 	m.drop = NewDropout(cfg.Dropout, rng.Split())
+	m.drop.InPlace = true
 	m.out = NewDense(cfg.ConvFilters[2]+cfg.LSTMCells, cfg.Classes, rng.Split())
 	m.fcnC = cfg.ConvFilters[2]
 	m.lstmC = cfg.LSTMCells
@@ -184,7 +191,7 @@ func (m *LSTMFCN) Forward(x *Tensor, train bool) *Tensor {
 	ctx := m.attn.Forward(h, train)
 	ctx = m.drop.Forward(ctx, train)
 
-	joint := concatChannels(f, ctx)
+	joint := concatChannelsInto(&m.joint, f, ctx)
 	return m.out.Forward(joint, train)
 }
 
@@ -192,7 +199,7 @@ func (m *LSTMFCN) Forward(x *Tensor, train bool) *Tensor {
 // gradients, accumulating parameter gradients.
 func (m *LSTMFCN) Backward(grad *Tensor) {
 	dJoint := m.out.Backward(grad)
-	dF, dCtx := splitChannels(dJoint, m.fcnC, m.lstmC)
+	dF, dCtx := splitChannelsInto(&m.gF, &m.gCtx, dJoint, m.fcnC, m.lstmC)
 
 	dCtx = m.drop.Backward(dCtx)
 	dH := m.attn.Backward(dCtx)

@@ -95,6 +95,12 @@ func trainDataParallel(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainR
 	}
 	outs := make([]shardOut, shards)
 
+	// Per-replica batch and loss workspaces: shard j always runs on replica
+	// j, so each goroutine reuses its own buffers across all batches.
+	repX := make([]*Tensor, shards)
+	repY := make([][]int, shards)
+	repLoss := make([]LossBuffers, shards)
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		idx := rng.Perm(train.Len())
 		var epochLoss float64
@@ -121,9 +127,10 @@ func trainDataParallel(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainR
 						copy(p.W, masterPs[k].W)
 						p.ZeroGrad()
 					}
-					x, y := train.batchTensor(batch[slo:shi])
+					repX[j], repY[j] = train.batchTensorInto(repX[j], repY[j], batch[slo:shi])
+					x, y := repX[j], repY[j]
 					logits := reps[j].Forward(x, true)
-					loss, probs, grad := SoftmaxCrossEntropy(logits, y)
+					loss, probs, grad := repLoss[j].SoftmaxCrossEntropy(logits, y)
 					reps[j].Backward(grad)
 					n := 0
 					for b := 0; b < x.B; b++ {

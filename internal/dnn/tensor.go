@@ -55,6 +55,52 @@ func (x *Tensor) ShapeEquals(y *Tensor) bool {
 	return x.B == y.B && x.T == y.T && x.C == y.C
 }
 
+// ensureTensor reshapes the workspace tensor at *ws to (b, t, c), reusing
+// the backing array when its capacity suffices, and zeroes the data. Every
+// layer keeps its outputs and input gradients in such workspaces, so a
+// steady-state training step allocates nothing: the returned tensor is
+// valid until the next call that reuses the same workspace.
+func ensureTensor(ws **Tensor, b, t, c int) *Tensor {
+	n := b * t * c
+	w := *ws
+	if w == nil || cap(w.Data) < n {
+		w = NewTensor(b, t, c)
+		*ws = w
+		return w
+	}
+	w.B, w.T, w.C = b, t, c
+	w.Data = w.Data[:n]
+	clear(w.Data)
+	return w
+}
+
+// ensureFloats resizes the workspace slice at *ws to length n, reusing
+// capacity, and zeroes it.
+func ensureFloats(ws *[]float64, n int) []float64 {
+	s := *ws
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*ws = s
+	return s
+}
+
+// ensureBools resizes the workspace slice at *ws to length n, reusing
+// capacity. The contents are unspecified; callers overwrite every element.
+func ensureBools(ws *[]bool, n int) []bool {
+	s := *ws
+	if cap(s) < n {
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+	}
+	*ws = s
+	return s
+}
+
 // Param is one trainable parameter block with its gradient accumulator.
 type Param struct {
 	Name string

@@ -38,12 +38,22 @@ func (d *Dataset) Split(valFrac float64, rng *sim.RNG) (train, val *Dataset) {
 	return train, val
 }
 
-// batchTensor packs samples idx[lo:hi] into a tensor and label slice.
+// batchTensor packs samples idx into a fresh tensor and label slice.
 func (d *Dataset) batchTensor(idx []int) (*Tensor, []int) {
+	return d.batchTensorInto(nil, nil, idx)
+}
+
+// batchTensorInto packs samples idx into x and y, reusing their backing
+// storage when capacity allows (x may be nil on the first call). The
+// returned tensor and slice are valid until the next call reusing them.
+func (d *Dataset) batchTensorInto(x *Tensor, y []int, idx []int) (*Tensor, []int) {
 	w := len(d.X[idx[0]])
 	c := len(d.X[idx[0]][0])
-	x := NewTensor(len(idx), w, c)
-	y := make([]int, len(idx))
+	x = ensureTensor(&x, len(idx), w, c)
+	if cap(y) < len(idx) {
+		y = make([]int, len(idx))
+	}
+	y = y[:len(idx)]
 	for bi, j := range idx {
 		for t := 0; t < w; t++ {
 			copy(x.Row(bi, t), d.X[j][t])
@@ -93,6 +103,40 @@ type TrainResult struct {
 	TrainAccuracy float64
 }
 
+// Stepper drives single-batch optimization steps on one model with fully
+// reused buffers: after the first (warm-up) step, Step performs the
+// forward pass, the loss, the backward pass and the Adam update without
+// allocating. It is the unit both Train and the train-step benchmarks
+// build on.
+type Stepper struct {
+	M   *LSTMFCN
+	Opt *Adam
+
+	loss   LossBuffers
+	params []*Param
+}
+
+// NewStepper returns a stepper for m driven by opt.
+func NewStepper(m *LSTMFCN, opt *Adam) *Stepper {
+	return &Stepper{M: m, Opt: opt}
+}
+
+// Step runs one forward/loss/backward/update cycle on the batch and
+// returns the mean loss and the per-sample probabilities. The probability
+// tensor is workspace-backed: it is valid until the next Step.
+func (s *Stepper) Step(x *Tensor, y []int) (float64, *Tensor) {
+	logits := s.M.Forward(x, true)
+	if s.params == nil {
+		// The LSTM branch is built lazily on the first forward, so the
+		// parameter list is only complete now.
+		s.params = s.M.Params()
+	}
+	loss, probs, grad := s.loss.SoftmaxCrossEntropy(logits, y)
+	s.M.Backward(grad)
+	s.Opt.Step(s.params)
+	return loss, probs
+}
+
 // Train fits the model on train, tracking accuracy on val for the plateau
 // schedule, and returns the result. Training is deterministic given the
 // seed.
@@ -108,9 +152,12 @@ func Train(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainResult, error
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	opt := NewAdam(cfg.InitialLR)
+	stepper := NewStepper(m, opt)
 	bestVal := -1.0
 	sincePlateau := 0
 	var res TrainResult
+	var x *Tensor
+	var y []int
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		idx := rng.Perm(train.Len())
@@ -118,15 +165,9 @@ func Train(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainResult, error
 		batches := 0
 		correct := 0
 		for lo := 0; lo < len(idx); lo += cfg.BatchSize {
-			hi := lo + cfg.BatchSize
-			if hi > len(idx) {
-				hi = len(idx)
-			}
-			x, y := train.batchTensor(idx[lo:hi])
-			logits := m.Forward(x, true)
-			loss, probs, grad := SoftmaxCrossEntropy(logits, y)
-			m.Backward(grad)
-			opt.Step(m.Params())
+			hi := min(lo+cfg.BatchSize, len(idx))
+			x, y = train.batchTensorInto(x, y, idx[lo:hi])
+			loss, probs := stepper.Step(x, y)
 			epochLoss += loss
 			batches++
 			for b := 0; b < x.B; b++ {
@@ -163,26 +204,29 @@ func Train(m *LSTMFCN, train, val *Dataset, cfg TrainConfig) (TrainResult, error
 	return res, nil
 }
 
-// Evaluate returns the model's accuracy on the dataset.
+// Evaluate returns the model's accuracy on the dataset. Inference runs
+// batched over minibatches with the batch tensor, label and index buffers
+// reused across chunks, and classifies straight from the logits (softmax
+// is monotone, so the argmax is the same) — no per-sample tensors, no
+// probability pass.
 func Evaluate(m *LSTMFCN, d *Dataset) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
 	correct := 0
 	const chunk = 64
+	var x *Tensor
+	var y, idx []int
 	for lo := 0; lo < d.Len(); lo += chunk {
-		hi := lo + chunk
-		if hi > d.Len() {
-			hi = d.Len()
+		hi := min(lo+chunk, d.Len())
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
 		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
-		}
-		x, y := d.batchTensor(idx)
-		pred := m.Classify(x)
-		for i := range pred {
-			if pred[i] == y[i] {
+		x, y = d.batchTensorInto(x, y, idx)
+		logits := m.Forward(x, false)
+		for b, label := range y {
+			if Argmax(logits.Row(b, 0)) == label {
 				correct++
 			}
 		}

@@ -257,6 +257,11 @@ type (
 var (
 	// NewCascade builds an untrained cascade.
 	NewCascade = dnn.NewCascade
+	// SetDNNKernelWorkers sets the worker count of the DNN stack's
+	// tile-parallel GEMM kernels and returns the previous value. Any
+	// value produces byte-identical results; workers only change wall
+	// time.
+	SetDNNKernelWorkers = dnn.SetKernelWorkers
 	// TrainCascadeModel fits a cascade on labelled windows.
 	TrainCascadeModel = dnn.TrainCascade
 	// PaperLSTMFCNConfig is the paper's full-size architecture.
