@@ -438,7 +438,9 @@ func (a *respondBenchActuator) Throttle(_ string, duty float64) error {
 	return nil
 }
 func (a *respondBenchActuator) Partition(string, bool) error { return nil }
-func (a *respondBenchActuator) Migrate(string) error         { return nil }
+func (a *respondBenchActuator) Migrate(string) (respond.MigrateResult, error) {
+	return respond.MigrateResult{}, nil
+}
 
 // respondBenchDetector alarms exactly when MissNum is anomalous, so every
 // benchmark sample is one deterministic alarm transition.

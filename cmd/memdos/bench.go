@@ -14,6 +14,7 @@ import (
 	"memdos/internal/attack"
 	"memdos/internal/bus"
 	"memdos/internal/cache"
+	"memdos/internal/cluster"
 	"memdos/internal/experiments"
 	"memdos/internal/vmm"
 	"memdos/internal/workload"
@@ -171,6 +172,7 @@ var microBenches = []struct {
 	{"cache/access", benchCacheAccess},
 	{"bus/resolve", benchBusResolve},
 	{"vmm/step", benchServerStep},
+	{"cluster/step-256-hosts", benchClusterStep},
 	{"probe/find-contested", benchFindContested},
 	{"dnn/train-step", benchDNNTrainStep},
 	{"dnn/infer", benchDNNInfer},
@@ -248,6 +250,45 @@ func benchServerStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// benchClusterStep times one lockstep tick of a 256-host cluster with
+// 512 resident VMs. Workers is pinned to 1 so the number measures the
+// per-host stepping cost itself, not this machine's core count.
+func benchClusterStep(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 256
+	cfg.SyncEvery = 1
+	cfg.Workers = 1
+	cfg.HostCapacity = 4
+	c, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := c.AddVictim(fmt.Sprintf("victim%03d", i), "BA"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		atk, err := attack.NewBusLock(attack.Always{}, 0.7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddAttacker(fmt.Sprintf("attacker%03d", i), atk, fmt.Sprintf("victim%03d", i%32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 464; i++ {
+		if err := c.AddUtility(fmt.Sprintf("util%03d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(1)
 	}
 }
 

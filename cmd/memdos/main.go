@@ -124,6 +124,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdAblation(args)
 	case "migration":
 		err = cmdMigration(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "mitigate":
 		err = cmdMitigate(args)
 	case "containers":
@@ -158,6 +160,7 @@ commands:
   train      train the LSTM-FCN cascade and report accuracy
   ablation   design-choice ablations (raw threshold / period / microsim)
   migration  detect-and-migrate response study (why migration alone fails)
+  cluster    datacenter placement x scheduling study with real VM migration
   mitigate   closed-loop mitigation study (stream alarms -> respond engine)
   containers serverless/container future-work study (Sec. VIII)
   report     run the core experiment set, emit a markdown report

@@ -43,9 +43,11 @@ var DeterministicPackages = map[string]bool{
 	"memdos/internal/attack":      true,
 	"memdos/internal/bus":         true,
 	"memdos/internal/cache":       true,
+	"memdos/internal/cluster":     true,
 	"memdos/internal/core":        true,
 	"memdos/internal/dnn":         true,
 	"memdos/internal/experiments": true,
+	"memdos/internal/par":         true,
 	"memdos/internal/pcm":         true,
 	"memdos/internal/period":      true,
 	"memdos/internal/sim":         true,

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+
+	"memdos/internal/respond"
+	"memdos/internal/vmm"
+)
+
+// actuator maps the respond engine's session-addressed actions onto the
+// cluster. A session is a victim VM name; throttle and partition resolve
+// to the attack VMs currently co-resident with that victim (exact suspect
+// resolution, as in the single-host studies — a real hypervisor would
+// attribute suspects from per-VM counters), and migrate performs a real
+// cluster migration of the victim to a scheduler-chosen host.
+//
+// Applied mitigation is recorded per session as concrete (host, vm)
+// pairs, so a release issued after the victim migrated away still undoes
+// the throttles on the *old* host — resolving the release against the
+// victim's new (clean) host would strand the old host's attackers
+// throttled forever. When two victims on one host throttle the same
+// attacker the last writer wins, and either session's release clears it;
+// the graduated ladder re-raises within seconds if contention persists.
+//
+// All methods run on the serial control plane (the engine is only ever
+// driven from Cluster.Step), so no locking is needed.
+type actuator struct {
+	c *Cluster
+	// applied records the mitigation each session currently holds.
+	applied map[string][]appliedEntry
+}
+
+// appliedEntry is one concrete mitigation applied on behalf of a session.
+type appliedEntry struct {
+	host      int
+	id        vmm.VMID
+	partition bool // false: exec throttle
+}
+
+// suspects returns the attack VMs co-resident with the session's victim,
+// in record order. Empty while the victim is in transit.
+func (a *actuator) suspects(session string) ([]appliedEntry, error) {
+	rec, ok := a.c.byName[session]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no VM for session %q", session)
+	}
+	if rec.inTransit {
+		return nil, nil
+	}
+	var out []appliedEntry
+	for _, r := range a.c.recs {
+		if r.kind == kindAttacker && !r.inTransit && r.host == rec.host {
+			out = append(out, appliedEntry{host: r.host, id: r.id})
+		}
+	}
+	return out, nil
+}
+
+// undo releases the session's recorded mitigation of the given kind on
+// whatever host it was applied. Departed husk slots accept the release
+// as a no-op, so an attacker that churned away meanwhile is harmless.
+func (a *actuator) undo(session string, partition bool) error {
+	kept := a.applied[session][:0]
+	for _, e := range a.applied[session] {
+		if e.partition != partition {
+			kept = append(kept, e)
+			continue
+		}
+		srv := a.c.hosts[e.host].srv
+		var err error
+		if partition {
+			err = srv.SetCachePartition(e.id, false)
+		} else {
+			err = srv.SetExecThrottle(e.id, 0)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	a.applied[session] = kept
+	return nil
+}
+
+// Throttle applies (or with duty 0 releases) the execution throttle on
+// the suspects co-resident with the session's victim.
+func (a *actuator) Throttle(session string, duty float64) error {
+	if a.applied == nil {
+		a.applied = make(map[string][]appliedEntry)
+	}
+	// A rung change re-resolves suspects: undo the old throttles first so
+	// an attacker that moved since is not left behind at a stale duty.
+	if err := a.undo(session, false); err != nil {
+		return err
+	}
+	if duty <= 0 {
+		return nil
+	}
+	sus, err := a.suspects(session)
+	if err != nil {
+		return err
+	}
+	for _, e := range sus {
+		if err := a.c.hosts[e.host].srv.SetExecThrottle(e.id, duty); err != nil {
+			return err
+		}
+		a.applied[session] = append(a.applied[session], e)
+	}
+	return nil
+}
+
+// Partition toggles pseudo cache-partitioning around the suspects
+// co-resident with the session's victim.
+func (a *actuator) Partition(session string, on bool) error {
+	if a.applied == nil {
+		a.applied = make(map[string][]appliedEntry)
+	}
+	if err := a.undo(session, true); err != nil {
+		return err
+	}
+	if !on {
+		return nil
+	}
+	sus, err := a.suspects(session)
+	if err != nil {
+		return err
+	}
+	for _, e := range sus {
+		e.partition = true
+		if err := a.c.hosts[e.host].srv.SetCachePartition(e.id, true); err != nil {
+			return err
+		}
+		a.applied[session] = append(a.applied[session], e)
+	}
+	return nil
+}
+
+// Migrate drains the session's victim to a scheduler-chosen clean host
+// and reports the destination. The engine releases the session's local
+// mitigation right after this returns; the recorded (host, vm) pairs
+// make that release land on the host the victim just left.
+func (a *actuator) Migrate(session string) (respond.MigrateResult, error) {
+	dest, err := a.c.MigrateVM(session)
+	if err != nil {
+		return respond.MigrateResult{}, err
+	}
+	return respond.MigrateResult{Dest: dest}, nil
+}

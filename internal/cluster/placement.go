@@ -1,0 +1,173 @@
+package cluster
+
+import "fmt"
+
+// SchedulerPolicy selects the cluster's placement scheduler: where new
+// VMs land and where migrating victims are evacuated to.
+type SchedulerPolicy int
+
+// Placement scheduler policies.
+const (
+	// RoundRobin rotates placements across hosts in id order.
+	RoundRobin SchedulerPolicy = iota
+	// BinPack fills the lowest-id host up to Config.HostCapacity before
+	// opening the next — the consolidation-first policy real clouds use
+	// to keep hosts busy, and the one that maximizes co-residence.
+	BinPack
+	// Spread is contention-aware: it places onto the host with the
+	// highest recent mean application speed (an observable proxy for
+	// "not under attack"), breaking ties toward fewer residents, then
+	// lower id. It never consults ground-truth attacker locations — only
+	// what a real scheduler could measure.
+	Spread
+)
+
+// String names the policy.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case BinPack:
+		return "bin-pack"
+	case Spread:
+		return "spread"
+	default:
+		return fmt.Sprintf("SchedulerPolicy(%d)", int(p))
+	}
+}
+
+// AttackerPolicy selects how attack VMs place themselves and move — the
+// adversary's co-location strategy from the paper's threat model
+// (Section III: attackers must first achieve co-residence).
+type AttackerPolicy int
+
+// Attacker placement policies.
+const (
+	// AttackRandom lands each attacker on a random host and stays.
+	AttackRandom AttackerPolicy = iota
+	// AttackTargeted places each attacker on its target victim's host
+	// and, whenever the victim escapes (migration), re-co-locates after
+	// Config.RelocationDelay — the probing delay of Section III-B.
+	AttackTargeted
+	// AttackChurn relocates each attacker to a random host every
+	// Config.ChurnInterval, sweeping the cluster.
+	AttackChurn
+)
+
+// String names the policy.
+func (p AttackerPolicy) String() string {
+	switch p {
+	case AttackRandom:
+		return "random"
+	case AttackTargeted:
+		return "targeted"
+	case AttackChurn:
+		return "churn"
+	default:
+		return fmt.Sprintf("AttackerPolicy(%d)", int(p))
+	}
+}
+
+// scheduler is the internal placement strategy interface. Methods run
+// only on the serial control plane and may mutate policy state.
+type scheduler interface {
+	// place returns the host for a newly created VM.
+	place(c *Cluster) int
+	// migrationTarget returns the host a victim evacuating `from` should
+	// land on (never `from` itself on a multi-host cluster).
+	migrationTarget(c *Cluster, from int) int
+}
+
+// newScheduler builds the scheduler for a policy.
+func newScheduler(p SchedulerPolicy) (scheduler, error) {
+	switch p {
+	case RoundRobin:
+		return &roundRobin{}, nil
+	case BinPack:
+		return binPack{}, nil
+	case Spread:
+		return spread{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown scheduler policy %v", p)
+	}
+}
+
+// roundRobin rotates across hosts in id order.
+type roundRobin struct{ next int }
+
+func (r *roundRobin) place(c *Cluster) int {
+	h := r.next % len(c.hosts)
+	r.next++
+	return h
+}
+
+func (r *roundRobin) migrationTarget(c *Cluster, from int) int {
+	for i := 0; i < len(c.hosts); i++ {
+		h := r.next % len(c.hosts)
+		r.next++
+		if h != from {
+			return h
+		}
+	}
+	return from
+}
+
+// binPack fills hosts in id order up to Config.HostCapacity.
+type binPack struct{}
+
+func (binPack) place(c *Cluster) int { return binPick(c, -1) }
+
+func (binPack) migrationTarget(c *Cluster, from int) int { return binPick(c, from) }
+
+// binPick returns the lowest-id host (excluding `exclude`) with capacity
+// headroom, falling back to the least-loaded one when all are full.
+func binPick(c *Cluster, exclude int) int {
+	best := -1
+	for i, h := range c.hosts {
+		if i == exclude {
+			continue
+		}
+		if h.residents() < c.cfg.HostCapacity {
+			return i
+		}
+		if best < 0 || h.residents() < c.hosts[best].residents() {
+			best = i
+		}
+	}
+	return best
+}
+
+// spread is the contention-aware policy: prefer the host whose resident
+// applications recently ran fastest.
+type spread struct{}
+
+func (spread) place(c *Cluster) int { return spreadPick(c, -1) }
+
+func (spread) migrationTarget(c *Cluster, from int) int { return spreadPick(c, from) }
+
+// spreadPick returns the host (excluding `exclude`) with the highest
+// recent mean application speed, breaking ties toward fewer residents,
+// then lower id. An empty host scores speed 1 (uncontended), so clean
+// hosts win over attacked ones whose residents are visibly stalled.
+func spreadPick(c *Cluster, exclude int) int {
+	best := -1
+	for i, h := range c.hosts {
+		if i == exclude {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := c.hosts[best]
+		switch {
+		case h.speed > b.speed:
+			best = i
+		case h.speed < b.speed:
+			// keep best
+		case h.residents() < b.residents():
+			best = i
+		}
+	}
+	return best
+}

@@ -104,12 +104,13 @@ func (a *loopActuator) Partition(_ string, on bool) error {
 }
 
 // Migrate moves the victim to a fresh host: the attacker loses
-// co-residence and needs the relocation delay to find it again (the
-// Suppressor mechanics of MigrationStudy). The detector keeps running —
-// the profile remains valid on the new host.
-func (a *loopActuator) Migrate(_ string) error {
+// co-residence and needs the relocation delay to find it again. The
+// detector keeps running — the profile remains valid on the new host.
+// This single-host study has no real destination; internal/cluster's
+// actuator performs the physical move and reports the landing host.
+func (a *loopActuator) Migrate(_ string) (respond.MigrateResult, error) {
 	a.sched.Suppress(a.srv.Now() + a.delay)
-	return nil
+	return respond.MigrateResult{Dest: "fresh-host"}, nil
 }
 
 // ClosedLoop runs the three-arm study (clean, attacked, attacked with

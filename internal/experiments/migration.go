@@ -2,11 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"memdos/internal/attack"
+	"memdos/internal/cluster"
 	"memdos/internal/core"
-	"memdos/internal/vmm"
-	"memdos/internal/workload"
+	"memdos/internal/respond"
 )
 
 // MigrationResult quantifies the paper's Section II argument that VM
@@ -17,22 +18,39 @@ type MigrationResult struct {
 	// Migrations is how many times the victim was migrated in response
 	// to an SDS alarm.
 	Migrations int
-	// AttackedFraction is the fraction of the run the victim spent under
-	// an active attack *with* the detect-and-migrate response.
+	// AttackedFraction is the fraction of the run the attacker spent
+	// co-resident with the victim *with* the detect-and-migrate
+	// response.
 	AttackedFraction float64
 	// AttackedFractionNoResponse is the same fraction with no response
-	// at all (the attack simply runs).
+	// at all (the attacker stays co-resident throughout).
 	AttackedFractionNoResponse float64
 	// MeanSpeedWithResponse / MeanSpeedNoResponse are the victim's mean
 	// execution speeds (1.0 = unimpeded) under each policy.
 	MeanSpeedWithResponse, MeanSpeedNoResponse float64
 }
 
+// migrationLadder is the detect-and-migrate respond config the migration
+// studies share: one weak throttle rung that cannot quiet a bus-locking
+// attacker (so the alarm stays raised), then escalate to migration.
+func migrationLadder() respond.Config {
+	return respond.Config{
+		ThrottleDuties:  []float64{0.25},
+		EnableMigration: true,
+		EscalateAfter:   10,
+		ClearAfter:      10,
+		Cooldown:        60,
+	}
+}
+
 // MigrationStudy runs a continuous bus-locking attacker against the app
-// for dur seconds under a detect-and-migrate policy: every SDS alarm
-// migrates the victim to a fresh host, which buys relocationDelay seconds
-// until the attacker re-co-locates (modelled by suppressing the attack and
-// resetting the detector, whose profile remains valid on the new host).
+// for dur seconds under a detect-and-migrate policy on a real multi-host
+// cluster (internal/cluster): every sustained SDS alarm live-migrates
+// the victim to a contention-aware-chosen clean host, and the targeted
+// attacker re-co-locates relocationDelay seconds later (Section III-B's
+// probing cost). The single-host Suppressor model this study once used
+// is gone — the migration here is the same ExportVM/AdmitVM state
+// transfer the respond ladder's migrate rung performs.
 func MigrationStudy(app string, relocationDelay, dur float64, seed uint64) (*MigrationResult, error) {
 	if relocationDelay <= 0 || dur <= relocationDelay {
 		return nil, fmt.Errorf("experiments: invalid migration study times (%v, %v)", relocationDelay, dur)
@@ -42,78 +60,59 @@ func MigrationStudy(app string, relocationDelay, dur float64, seed uint64) (*Mig
 	if err != nil {
 		return nil, err
 	}
+	overheadDet, err := core.NewSDS(prof, params)
+	if err != nil {
+		return nil, err
+	}
 
-	run := func(respond bool) (migrations int, attackedFrac, meanSpeed float64, err error) {
-		cfg := vmm.DefaultConfig()
+	run := func(withResponse bool) (*cluster.Result, error) {
+		cfg := cluster.DefaultConfig()
 		cfg.Seed = seed
-		srv, err := vmm.NewServer(cfg)
+		cfg.Scheduler = cluster.Spread
+		cfg.Placement = cluster.AttackTargeted
+		cfg.RelocationDelay = relocationDelay
+		// Both arms of one study run serially inside their cell; the two
+		// arms themselves are the parallel cells.
+		cfg.Workers = 1
+		if withResponse {
+			cfg.Detector = func(string) (core.Detector, error) { return core.NewSDS(prof, params) }
+			cfg.Respond = migrationLadder()
+			cfg.HypervisorLoad = overheadDet.Overhead()
+		}
+		c, err := cluster.New(cfg)
 		if err != nil {
-			return 0, 0, 0, err
+			return nil, err
 		}
-		spec, err := workload.ByAbbrev(app)
+		if err := c.AddVictim("victim", app); err != nil {
+			return nil, err
+		}
+		atk, err := attack.NewBusLock(attack.Window{Start: 0, End: math.Inf(1)}, BusLockDuty)
 		if err != nil {
-			return 0, 0, 0, err
+			return nil, err
 		}
-		victim, err := srv.AddApp("victim", spec.Service())
-		if err != nil {
-			return 0, 0, 0, err
+		if err := c.AddAttacker("attacker", atk, "victim"); err != nil {
+			return nil, err
 		}
-		// The attack begins once the attacker first co-locates, 30 s in.
-		sched, err := attack.NewSuppressor(attack.Window{Start: 30, End: dur})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		atk, err := attack.NewBusLock(sched, BusLockDuty)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		if _, err := srv.AddAttacker("attacker", atk); err != nil {
-			return 0, 0, 0, err
-		}
-
-		det, err := core.NewSDS(prof, params)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		var attackedSteps, totalSteps int
-		var speedSum float64
-		srv.RunUntil(dur, func(step vmm.StepResult) {
-			now := step.Time
-			totalSteps++
-			speedSum += victim.LastSpeed()
-			if sched.Active(now - srv.TPCM()) {
-				attackedSteps++
+		for i := 0; i < 6; i++ {
+			if err := c.AddUtility(fmt.Sprintf("util%d", i)); err != nil {
+				return nil, err
 			}
-			s, ok := step.Samples[victim.ID()]
-			if !ok {
-				return
-			}
-			for _, d := range det.Push(s) {
-				if !respond || !d.Alarm {
-					continue
-				}
-				// Migrate: the attacker loses co-residence and needs
-				// relocationDelay to find the victim's new host. The
-				// detector restarts cleanly on the new host.
-				if now >= sched.SuppressedUntil() {
-					migrations++
-					sched.Suppress(now + relocationDelay)
-					det, err = core.NewSDS(prof, params)
-					if err != nil {
-						return
-					}
-				}
-			}
-		})
-		return migrations, float64(attackedSteps) / float64(totalSteps), speedSum / float64(totalSteps), nil
+		}
+		return c.Run(dur)
 	}
 
-	res := &MigrationResult{}
-	if res.Migrations, res.AttackedFraction, res.MeanSpeedWithResponse, err = run(true); err != nil {
+	arms, err := MapCells(DefaultRunner(), 2, func(i int) (*cluster.Result, error) {
+		return run(i == 0)
+	})
+	if err != nil {
 		return nil, err
 	}
-	if _, res.AttackedFractionNoResponse, res.MeanSpeedNoResponse, err = run(false); err != nil {
-		return nil, err
-	}
-	return res, nil
+	with, without := arms[0], arms[1]
+	return &MigrationResult{
+		Migrations:                 with.Migrations,
+		AttackedFraction:           with.ColocationFraction,
+		AttackedFractionNoResponse: without.ColocationFraction,
+		MeanSpeedWithResponse:      with.MeanVictimSpeed,
+		MeanSpeedNoResponse:        without.MeanVictimSpeed,
+	}, nil
 }

@@ -26,11 +26,16 @@ type Sample struct {
 
 // Counter aggregates one VM's per-tick access/miss counts into PCM samples.
 type Counter struct {
-	tpcm         float64
-	ticksPer     int
-	tickCount    int
-	accessAccum  float64
-	missAccum    float64
+	tpcm        float64
+	ticksPer    int
+	tickCount   int
+	accessAccum float64
+	missAccum   float64
+	// count is the number of completed samples. It is tracked separately
+	// from the series length so a counter can run with history retention
+	// off (see SetRetainHistory) without losing its sample timeline.
+	count        int
+	retain       bool
 	accessSeries *trace.Series
 	missSeries   *trace.Series
 }
@@ -53,6 +58,7 @@ func NewCounter(name string, tpcm, dt float64) (*Counter, error) {
 	return &Counter{
 		tpcm:         tpcm,
 		ticksPer:     ticks,
+		retain:       true,
 		accessSeries: trace.NewSeries(name+".access", tpcm, tpcm),
 		missSeries:   trace.NewSeries(name+".miss", tpcm, tpcm),
 	}, nil
@@ -70,6 +76,15 @@ func MustNewCounter(name string, tpcm, dt float64) *Counter {
 // TPCM returns the sampling interval.
 func (c *Counter) TPCM() float64 { return c.tpcm }
 
+// SetRetainHistory toggles series retention. With retention off (the
+// datacenter simulator's setting, where thousands of VMs would otherwise
+// accumulate unbounded history) completed samples are still produced
+// with correct timestamps, but AccessSeries/MissSeries stop growing.
+// Turning retention back on resumes recording from the current time; the
+// series' earlier gap is not backfilled, so mixed-retention series
+// should not be used for figure traces.
+func (c *Counter) SetRetainHistory(on bool) { c.retain = on }
+
 // Observe records one simulation tick's worth of accesses and misses. When
 // the tick completes a sampling interval, Observe returns the finished
 // sample and true.
@@ -83,17 +98,42 @@ func (c *Counter) Observe(accesses, misses float64) (Sample, bool) {
 	if c.tickCount < c.ticksPer {
 		return Sample{}, false
 	}
-	// The series starts at tpcm with interval tpcm, so End() before the
-	// append is exactly this sample's end-of-interval timestamp.
+	// The sample timeline starts at tpcm with interval tpcm, so the
+	// completed-sample count gives this sample's end-of-interval
+	// timestamp directly (equal to accessSeries.End() while retention is
+	// on, but independent of it so retention-off counters keep time).
 	s := Sample{
-		Time:      c.accessSeries.End(),
+		Time:      c.tpcm + float64(c.count)*c.tpcm,
 		AccessNum: c.accessAccum,
 		MissNum:   c.missAccum,
 	}
-	c.accessSeries.Append(s.AccessNum)
-	c.missSeries.Append(s.MissNum)
+	if c.retain {
+		c.accessSeries.Append(s.AccessNum)
+		c.missSeries.Append(s.MissNum)
+	}
+	c.count++
 	c.accessAccum, c.missAccum, c.tickCount = 0, 0, 0
 	return s, true
+}
+
+// SkipToSample fast-forwards the counter to n completed samples without
+// observing anything: a migrated VM's counter rejoining a destination
+// host whose clock is ahead (transit downtime) skips the samples it
+// never produced, so its timeline stays aligned with wall time. Retained
+// series record zeros for the skipped interval. Any partial-interval
+// accumulation is dropped. Skipping backwards is a no-op.
+func (c *Counter) SkipToSample(n int) {
+	if n <= c.count {
+		return
+	}
+	if c.retain {
+		for i := c.count; i < n; i++ {
+			c.accessSeries.Append(0)
+			c.missSeries.Append(0)
+		}
+	}
+	c.count = n
+	c.accessAccum, c.missAccum, c.tickCount = 0, 0, 0
 }
 
 // AccessSeries returns the full AccessNum series recorded so far. The
@@ -104,5 +144,6 @@ func (c *Counter) AccessSeries() *trace.Series { return c.accessSeries }
 // series is live; callers must not mutate it.
 func (c *Counter) MissSeries() *trace.Series { return c.missSeries }
 
-// Samples returns the number of completed samples.
-func (c *Counter) Samples() int { return c.accessSeries.Len() }
+// Samples returns the number of completed samples (including any not
+// retained in the series).
+func (c *Counter) Samples() int { return c.count }

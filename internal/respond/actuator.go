@@ -19,9 +19,18 @@ type Actuator interface {
 	// Partition toggles pseudo cache-partitioning around the suspect VM,
 	// containing its LLC evictions (no effect on bus locking).
 	Partition(session string, on bool) error
-	// Migrate moves the protected VM to another host. One-shot per
-	// episode: the engine releases all local mitigation afterwards.
-	Migrate(session string) error
+	// Migrate moves the protected VM to another host and reports where
+	// it landed. One-shot per episode: the engine releases all local
+	// mitigation afterwards.
+	Migrate(session string) (MigrateResult, error)
+}
+
+// MigrateResult describes the outcome of an Actuator.Migrate call.
+type MigrateResult struct {
+	// Dest names the destination host the protected VM was moved to
+	// (e.g. "host07"). Empty when the actuator has no host notion, such
+	// as the stand-alone LogActuator.
+	Dest string `json:"dest,omitempty"`
 }
 
 // Applied is the mitigation state a LogActuator currently holds for one
@@ -30,6 +39,10 @@ type Applied struct {
 	Duty       float64 `json:"duty"`
 	Partition  bool    `json:"partition"`
 	Migrations int     `json:"migrations"`
+	// LastDest is the destination reported for the most recent migration
+	// (always empty for LogActuator itself, which has no host notion, but
+	// kept in the record so mixed deployments serialize uniformly).
+	LastDest string `json:"last_dest,omitempty"`
 }
 
 // LogActuator is an Actuator for deployments without a hypervisor
@@ -67,14 +80,16 @@ func (l *LogActuator) Partition(session string, on bool) error {
 	return nil
 }
 
-// Migrate counts the migration.
-func (l *LogActuator) Migrate(session string) error {
+// Migrate counts the migration. LogActuator has no host notion, so the
+// reported destination is empty.
+func (l *LogActuator) Migrate(session string) (MigrateResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := l.state[session]
 	st.Migrations++
+	st.LastDest = ""
 	l.state[session] = st
-	return nil
+	return MigrateResult{}, nil
 }
 
 // Applied returns the currently recorded mitigation for the session.

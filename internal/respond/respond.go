@@ -121,6 +121,9 @@ type Action struct {
 	// Reason is why the transition happened: "raise", "flap-raise",
 	// "re-raise", "sustained", "backoff", "override" or "migrated".
 	Reason string `json:"reason"`
+	// Dest is the destination host reported by the actuator (migrate
+	// kind only; empty when the actuator has no host notion).
+	Dest string `json:"dest,omitempty"`
 	// Err carries the actuator failure, if any.
 	Err string `json:"err,omitempty"`
 }
@@ -423,10 +426,10 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 		// mitigation — the suspect has lost co-residence. A flap raise
 		// within Cooldown re-enters at the top throttle step, never an
 		// immediate re-migration.
-		err := e.act.Migrate(s.name)
+		res, err := e.act.Migrate(s.name)
 		e.migrations.Inc()
 		s.migrations++
-		e.record(s, Action{Time: now, Kind: "migrate", Level: 0, Reason: reasonMigrated}, err)
+		e.record(s, Action{Time: now, Kind: "migrate", Level: 0, Reason: reasonMigrated, Dest: res.Dest}, err)
 		e.releaseLocked(s, now, reasonMigrated)
 		s.level = 0
 		s.levelSince = now

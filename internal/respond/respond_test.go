@@ -13,6 +13,7 @@ type call struct {
 	sess string
 	duty float64
 	on   bool
+	dest string
 }
 
 // fakeAct records every actuator call; with fail set, all calls error.
@@ -40,8 +41,9 @@ func (f *fakeAct) Partition(sess string, on bool) error {
 	return f.add(call{kind: "partition", sess: sess, on: on})
 }
 
-func (f *fakeAct) Migrate(sess string) error {
-	return f.add(call{kind: "migrate", sess: sess})
+func (f *fakeAct) Migrate(sess string) (MigrateResult, error) {
+	err := f.add(call{kind: "migrate", sess: sess, dest: "fake-dst"})
+	return MigrateResult{Dest: "fake-dst"}, err
 }
 
 func (f *fakeAct) log() []call {
@@ -153,7 +155,7 @@ func TestEscalationLadder(t *testing.T) {
 		{kind: "throttle", sess: "vm", duty: 0.5},
 		{kind: "throttle", sess: "vm", duty: 0.75},
 		{kind: "partition", sess: "vm", on: true},
-		{kind: "migrate", sess: "vm"},
+		{kind: "migrate", sess: "vm", dest: "fake-dst"},
 		{kind: "partition", sess: "vm", on: false},
 		{kind: "throttle", sess: "vm", duty: 0},
 	}
@@ -163,6 +165,16 @@ func TestEscalationLadder(t *testing.T) {
 	st, _ := eng.State("vm")
 	if st.Level != 0 || st.PeakLevel != 5 || st.Migrations != 1 {
 		t.Errorf("post-migration state = %+v", st)
+	}
+	// The action log records the destination host the actuator reported.
+	var mig *Action
+	for i, a := range st.Actions {
+		if a.Kind == "migrate" {
+			mig = &st.Actions[i]
+		}
+	}
+	if mig == nil || mig.Dest != "fake-dst" {
+		t.Errorf("migrate action dest = %+v, want fake-dst", mig)
 	}
 
 	// The alarm never cleared: after EscalateAfter of continued noise the

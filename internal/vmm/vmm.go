@@ -46,6 +46,12 @@ type Config struct {
 	BusCapacity float64
 	// Seed seeds the server's RNG; every VM derives its own stream.
 	Seed uint64
+	// DisableHistory turns off PCM series retention for this server's
+	// counters: samples are still produced with correct timestamps, but
+	// no per-VM history accumulates. The cluster simulator sets this —
+	// thousands of VMs stepping for minutes would otherwise retain
+	// hundreds of megabytes of trace data nothing reads.
+	DisableHistory bool
 }
 
 // DefaultConfig returns the configuration matching the paper's testbed
@@ -65,6 +71,10 @@ type VM struct {
 	doneAt float64
 	// lastSpeed is the effective speed of the most recent step.
 	lastSpeed float64
+	// departed marks a VM whose state was exported for migration: the
+	// slot remains (VM ids are dense slice indices) but the husk no
+	// longer runs, demands bus time, or produces samples.
+	departed bool
 }
 
 // ID returns the VM's identifier.
@@ -85,6 +95,10 @@ func (v *VM) Completed() bool { return v.doneAt > 0 }
 
 // LastSpeed returns the effective execution speed of the last step.
 func (v *VM) LastSpeed() float64 { return v.lastSpeed }
+
+// Departed reports whether the VM's state was exported for migration;
+// a departed VM is an inert placeholder keeping its slot's id stable.
+func (v *VM) Departed() bool { return v.departed }
 
 // Server is one simulated physical machine.
 type Server struct {
@@ -179,8 +193,12 @@ func (s *Server) AddAttacker(name string, a *attack.Attacker) (*VM, error) {
 
 // addVM registers the VM in the dense per-VM state slices.
 func (s *Server) addVM(vm *VM, name string) {
+	c := pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM)
+	if s.cfg.DisableHistory {
+		c.SetRetainHistory(false)
+	}
 	s.vms = append(s.vms, vm)
-	s.counters = append(s.counters, pcm.MustNewCounter(name, s.cfg.TPCM, s.cfg.TPCM))
+	s.counters = append(s.counters, c)
 	s.execThrottle = append(s.execThrottle, 0)
 	s.partitioned = append(s.partitioned, false)
 }
@@ -346,6 +364,12 @@ func (s *Server) Step() StepResult {
 	clear(s.stepSamples)
 	res := StepResult{Time: now + dt, Samples: s.stepSamples}
 	for _, vm := range s.vms {
+		if vm.departed {
+			// The VM's counter migrated with it; the husk produces
+			// nothing.
+			vm.lastSpeed = 0
+			continue
+		}
 		var accesses, misses float64
 		if st := states[vm.id]; st.active {
 			d := delivered.Of(bus.Owner(vm.id))
@@ -383,4 +407,95 @@ func (s *Server) RunUntil(t float64, onStep func(StepResult)) {
 			onStep(res)
 		}
 	}
+}
+
+// VMState is a VM's complete runtime state in flight between servers —
+// the payload of a live migration. It carries the workload or attacker
+// instance (including its private RNG stream), the PCM counter (so the
+// sample timeline continues seamlessly on the destination), and the
+// completion record. Per-host mitigation state (execution throttle,
+// cache partition) deliberately does NOT travel: it belongs to the
+// source hypervisor and a freshly admitted VM starts unmitigated.
+type VMState struct {
+	name     string
+	app      *workload.Instance
+	attacker *attack.Attacker
+	counter  *pcm.Counter
+	doneAt   float64
+
+	exportTick uint64
+	exportedAt float64
+}
+
+// Name returns the migrating VM's name.
+func (st *VMState) Name() string { return st.name }
+
+// IsAttacker reports whether the migrating VM runs an attack program.
+func (st *VMState) IsAttacker() bool { return st.attacker != nil }
+
+// ExportedAt returns the simulated time the state left its source host.
+func (st *VMState) ExportedAt() float64 { return st.exportedAt }
+
+// ExportVM removes the VM's runtime state from the server for migration
+// and returns it. The slot is left as an inert, departed husk (VM ids
+// are dense slice indices, so slots never shift); any execution throttle
+// or cache partition applied to the VM is released.
+func (s *Server) ExportVM(id VMID) (*VMState, error) {
+	if int(id) < 0 || int(id) >= len(s.vms) {
+		return nil, fmt.Errorf("vmm: no VM %d", id)
+	}
+	vm := s.vms[id]
+	if vm.departed {
+		return nil, fmt.Errorf("vmm: VM %d (%s) already departed", id, vm.name)
+	}
+	st := &VMState{
+		name:       vm.name,
+		app:        vm.app,
+		attacker:   vm.attacker,
+		counter:    s.counters[id],
+		doneAt:     vm.doneAt,
+		exportTick: s.clock.Ticks(),
+		exportedAt: s.clock.Now(),
+	}
+	vm.app, vm.attacker, vm.departed = nil, nil, true
+	vm.lastSpeed = 0
+	s.counters[id] = nil
+	s.execThrottle[id] = 0
+	s.partitioned[id] = false
+	return st, nil
+}
+
+// AdmitVM installs a migrated VM's state on this server and returns the
+// new VM. The destination must share the source's sampling interval, and
+// its clock must be at or past the export tick (hosts stepping in
+// lockstep admit at the same tick for a zero-downtime migration; a later
+// tick models transit downtime, during which the VM made no progress and
+// produced no samples). A state can be admitted exactly once.
+func (s *Server) AdmitVM(st *VMState) (*VM, error) {
+	if st == nil || st.counter == nil {
+		return nil, fmt.Errorf("vmm: nil or already-admitted VM state")
+	}
+	// Both sides hold a TPCM copied verbatim from their configs, so exact
+	// comparison is the intended integrity check.
+	if st.counter.TPCM() != s.cfg.TPCM { //memdos:ignore floateq
+		return nil, fmt.Errorf("vmm: sampling interval mismatch: migrating VM %s has TPCM %v, host %v",
+			st.name, st.counter.TPCM(), s.cfg.TPCM)
+	}
+	if s.clock.Ticks() < st.exportTick {
+		return nil, fmt.Errorf("vmm: destination clock (tick %d) behind export tick %d of VM %s",
+			s.clock.Ticks(), st.exportTick, st.name)
+	}
+	vm := &VM{id: VMID(len(s.vms)), name: st.name, app: st.app, attacker: st.attacker, doneAt: st.doneAt, lastSpeed: 1}
+	c := st.counter
+	c.SetRetainHistory(!s.cfg.DisableHistory)
+	// Transit downtime produced no samples; realign the counter's sample
+	// timeline with the destination clock (counters run at one sample per
+	// tick, see addVM). A lockstep zero-downtime admission is a no-op.
+	c.SkipToSample(int(s.clock.Ticks()))
+	s.vms = append(s.vms, vm)
+	s.counters = append(s.counters, c)
+	s.execThrottle = append(s.execThrottle, 0)
+	s.partitioned = append(s.partitioned, false)
+	st.app, st.attacker, st.counter = nil, nil, nil
+	return vm, nil
 }

@@ -24,6 +24,7 @@ package memdos
 
 import (
 	"memdos/internal/attack"
+	"memdos/internal/cluster"
 	"memdos/internal/container"
 	"memdos/internal/core"
 	"memdos/internal/dnn"
@@ -179,6 +180,8 @@ type (
 	// RespondLogActuator records would-be actions instead of applying
 	// them (memdosd stand-alone mode).
 	RespondLogActuator = respond.LogActuator
+	// RespondMigrateResult reports where an actuator migrated a victim.
+	RespondMigrateResult = respond.MigrateResult
 )
 
 // RespondForceNone unpins an operator-forced mitigation level.
@@ -241,6 +244,55 @@ type (
 	AlwaysAttack = attack.Always
 	// NeverAttack disables the attack.
 	NeverAttack = attack.Never
+)
+
+// Multi-host datacenter (internal/cluster): many simulated servers in
+// deterministic lockstep, with placement scheduling, attacker co-location
+// strategies, and real VM migration as the respond ladder's last rung.
+type (
+	// Cluster is the simulated multi-host datacenter.
+	Cluster = cluster.Cluster
+	// ClusterConfig sizes and parameterizes a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterResult summarizes one cluster run.
+	ClusterResult = cluster.Result
+	// SchedulerPolicy selects how the cluster places and evacuates VMs.
+	SchedulerPolicy = cluster.SchedulerPolicy
+	// AttackerPolicy selects the attackers' co-location strategy.
+	AttackerPolicy = cluster.AttackerPolicy
+	// ClusterStudySpec sizes the placement x scheduling study.
+	ClusterStudySpec = experiments.ClusterStudySpec
+	// ClusterStudyResult is the study's full policy grid.
+	ClusterStudyResult = experiments.ClusterStudyResult
+	// ClusterCell is one policy combination's outcome.
+	ClusterCell = experiments.ClusterCell
+)
+
+// Scheduler and attacker placement policies.
+const (
+	// ScheduleRoundRobin rotates new VMs across hosts.
+	ScheduleRoundRobin = cluster.RoundRobin
+	// ScheduleBinPack consolidates onto the fewest hosts under a cap.
+	ScheduleBinPack = cluster.BinPack
+	// ScheduleSpread places on the least-contended host by observed speed.
+	ScheduleSpread = cluster.Spread
+	// PlaceAttackersRandom lets attackers land like any other VM.
+	PlaceAttackersRandom = cluster.AttackRandom
+	// PlaceAttackersTargeted re-co-locates attackers with their victims.
+	PlaceAttackersTargeted = cluster.AttackTargeted
+	// PlaceAttackersChurn relocates attackers on a fixed period.
+	PlaceAttackersChurn = cluster.AttackChurn
+)
+
+var (
+	// NewCluster builds a multi-host datacenter simulation.
+	NewCluster = cluster.New
+	// DefaultClusterConfig returns a small deterministic cluster.
+	DefaultClusterConfig = cluster.DefaultConfig
+	// ClusterStudy runs the attacker-placement x scheduler-policy grid.
+	ClusterStudy = experiments.ClusterStudy
+	// DefaultClusterStudySpec sizes a small-but-meaningful study.
+	DefaultClusterStudySpec = experiments.DefaultClusterStudySpec
 )
 
 // DNN stack (Section V).
