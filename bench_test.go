@@ -437,6 +437,8 @@ func (a *respondBenchActuator) Throttle(_ string, duty float64) error {
 	a.applied <- duty
 	return nil
 }
+func (a *respondBenchActuator) LimitBandwidth(string, float64) error { return nil }
+
 func (a *respondBenchActuator) Partition(string, bool) error { return nil }
 func (a *respondBenchActuator) Migrate(string) (respond.MigrateResult, error) {
 	return respond.MigrateResult{}, nil

@@ -16,6 +16,7 @@ import (
 	"memdos/internal/cache"
 	"memdos/internal/cluster"
 	"memdos/internal/experiments"
+	"memdos/internal/mem"
 	"memdos/internal/vmm"
 	"memdos/internal/workload"
 )
@@ -171,6 +172,7 @@ var microBenches = []struct {
 }{
 	{"cache/access", benchCacheAccess},
 	{"bus/resolve", benchBusResolve},
+	{"mem/resolve-1024-vms", benchMemResolve},
 	{"vmm/step", benchServerStep},
 	{"cluster/step-256-hosts", benchClusterStep},
 	{"probe/find-contested", benchFindContested},
@@ -226,6 +228,31 @@ func benchBusResolve(b *testing.B) {
 		}
 		bb.RequestLock(9, 0.007)
 		bb.Resolve(0.01)
+	}
+}
+
+// benchMemResolve mirrors internal/mem's BenchmarkResolve1024VMs: one
+// arbitration round of a 2-socket, 8-channel controller with 1024 owners.
+func benchMemResolve(b *testing.B) {
+	cfg := mem.DefaultNUMAConfig(2)
+	cfg.ChannelsPerSocket = 4
+	c := mem.MustNew(cfg)
+	const n = 1024
+	for o := mem.Owner(0); o < n; o++ {
+		if err := c.SetHome(o, int(o)%2); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SetRemoteFraction(o, float64(int(o)%4)/10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for o := mem.Owner(0); o < n; o++ {
+			c.Request(o, 1e6, 0.7)
+		}
+		c.Resolve(0.01)
 	}
 }
 

@@ -19,6 +19,7 @@
 //	memdos ablation -which raw|period|microsim
 //	memdos migration [-app KM] [-delay 60]
 //	memdos mitigate [-app KM] [-attack buslock] [-seed 7]
+//	memdos membw    [-app KM] [-sockets 1,2] [-dur 600] [-budget 2e9] [-dnn]
 //	memdos bench    [-quick] [-out BENCH.json] [-baseline BENCH_baseline.json]
 package main
 
@@ -128,6 +129,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdCluster(args)
 	case "mitigate":
 		err = cmdMitigate(args)
+	case "membw":
+		err = cmdMemBW(args)
 	case "containers":
 		err = cmdContainers(args)
 	case "report":
@@ -162,6 +165,7 @@ commands:
   migration  detect-and-migrate response study (why migration alone fails)
   cluster    datacenter placement x scheduling study with real VM migration
   mitigate   closed-loop mitigation study (stream alarms -> respond engine)
+  membw      DRAM bandwidth-hog study on 1- and 2-socket NUMA topologies
   containers serverless/container future-work study (Sec. VIII)
   report     run the core experiment set, emit a markdown report
   bench      performance benchmarks, machine-readable JSON output
@@ -178,10 +182,12 @@ func parseMode(s string) (experiments.AttackMode, error) {
 		return experiments.BusLock, nil
 	case "cleansing", "llc":
 		return experiments.Cleansing, nil
+	case "membw", "dram":
+		return experiments.MemBW, nil
 	case "none":
 		return experiments.NoAttack, nil
 	default:
-		return 0, fmt.Errorf("unknown attack %q (buslock|cleansing|none)", s)
+		return 0, fmt.Errorf("unknown attack %q (buslock|cleansing|membw|none)", s)
 	}
 }
 

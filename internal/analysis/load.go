@@ -47,6 +47,7 @@ var DeterministicPackages = map[string]bool{
 	"memdos/internal/core":        true,
 	"memdos/internal/dnn":         true,
 	"memdos/internal/experiments": true,
+	"memdos/internal/mem":         true,
 	"memdos/internal/par":         true,
 	"memdos/internal/pcm":         true,
 	"memdos/internal/period":      true,

@@ -1,5 +1,6 @@
-// Package attack implements the two memory DoS attacks of the paper and
-// the schedules that drive them.
+// Package attack implements the two memory DoS attacks of the paper, a
+// DRAM-bandwidth hog from the follow-on literature, and the schedules
+// that drive them.
 //
 // Atomic bus locking: the attacker repeatedly issues atomic operations
 // whose operands span cache lines, forcing the processor to lock all
@@ -9,6 +10,12 @@
 // LLC cleansing: the attacker first probes the shared LLC to find sets
 // where other VMs hold lines (Prober), then repeatedly re-fills those sets,
 // evicting the victims' lines and inflating their miss counters.
+//
+// DRAM bandwidth hogging: the attacker streams sequentially through a
+// buffer larger than the LLC, saturating the memory controller's channels
+// while keeping near-perfect row-buffer locality for itself (Bechtel &
+// Yun, arXiv:2005.10864). The stream bypasses most cache-level signals,
+// which is exactly why it interests the detection study.
 //
 // Schedules model the attack VM's enable/disable behaviour: Scenario 1 of
 // the paper enables the attack for the second half of the run; Scenario 2
@@ -29,6 +36,8 @@ const (
 	BusLock Kind = iota
 	// LLCCleansing is the LLC cleansing attack.
 	LLCCleansing
+	// MemBandwidth is the DRAM-bandwidth hog (sequential-stream attack).
+	MemBandwidth
 )
 
 // String returns the paper's name for the attack kind.
@@ -38,6 +47,8 @@ func (k Kind) String() string {
 		return "bus locking"
 	case LLCCleansing:
 		return "LLC cleansing"
+	case MemBandwidth:
+		return "DRAM bandwidth"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -196,6 +207,11 @@ type Attacker struct {
 	// (re)activation — the cleansing attack's probing phase, during which
 	// the attacker is still locating contested sets. 0 = instant.
 	ramp float64
+	// bwRate is the MemBandwidth hog's raw stream demand in bytes per
+	// second at full duty; readFrac its read share in [0,1] (writes cost
+	// more channel time: read-for-ownership + writeback).
+	bwRate   float64
+	readFrac float64
 	// activeSince tracks the current activation edge for ramping.
 	activeSince float64
 	wasActive   bool
@@ -228,6 +244,38 @@ func NewLLCCleansing(schedule Schedule, pressure, accessRate float64) (*Attacker
 		return nil, fmt.Errorf("attack: nil schedule")
 	}
 	return &Attacker{kind: LLCCleansing, schedule: schedule, intensity: pressure, accessRate: accessRate}, nil
+}
+
+// NewMemBandwidth returns a DRAM-bandwidth hog: a sequential stream
+// demanding bytesPerSec of raw DRAM traffic, with readFrac of it reads
+// (the rest read-modify-write), active for dutyCycle of the time while
+// the schedule enables it. The duty cycle maps onto the attacker's
+// intensity, so ramps and adaptive schedules compose exactly as for the
+// other attacks. The hog's stream misses the LLC by construction, so it
+// also issues a fixed access storm on the bus/cache side — far smaller
+// than the cleansing attack's, which is what lets it fly under
+// LLC-centric detectors.
+func NewMemBandwidth(schedule Schedule, bytesPerSec, readFrac, dutyCycle float64) (*Attacker, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("attack: non-positive stream bandwidth %v", bytesPerSec)
+	}
+	if readFrac < 0 || readFrac > 1 {
+		return nil, fmt.Errorf("attack: read fraction %v outside [0,1]", readFrac)
+	}
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		return nil, fmt.Errorf("attack: duty cycle %v outside (0,1]", dutyCycle)
+	}
+	if schedule == nil {
+		return nil, fmt.Errorf("attack: nil schedule")
+	}
+	return &Attacker{
+		kind:       MemBandwidth,
+		schedule:   schedule,
+		intensity:  dutyCycle,
+		accessRate: 4e5,
+		bwRate:     bytesPerSec,
+		readFrac:   readFrac,
+	}, nil
 }
 
 // SetRamp configures a warm-up: after each (re)activation the attack's
@@ -279,6 +327,14 @@ func (a *Attacker) IntensityAt(now float64) float64 {
 
 // AccessRate returns the attacker's own access demand while attacking.
 func (a *Attacker) AccessRate() float64 { return a.accessRate }
+
+// BWRate returns the MemBandwidth hog's raw stream demand in bytes per
+// second at full duty (0 for other kinds).
+func (a *Attacker) BWRate() float64 { return a.bwRate }
+
+// ReadFraction returns the MemBandwidth hog's read share (0 for other
+// kinds).
+func (a *Attacker) ReadFraction() float64 { return a.readFrac }
 
 // Schedule returns the attacker's schedule.
 func (a *Attacker) Schedule() Schedule { return a.schedule }

@@ -389,3 +389,52 @@ func TestSuppressorNeverShrinks(t *testing.T) {
 		t.Errorf("extension failed: Active(150)=%v Active(200)=%v", s.Active(150), s.Active(200))
 	}
 }
+
+func TestNewMemBandwidth(t *testing.T) {
+	a, err := NewMemBandwidth(Always{}, 3.2e10, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind() != MemBandwidth {
+		t.Fatalf("kind = %v", a.Kind())
+	}
+	if a.Kind().String() != "DRAM bandwidth" {
+		t.Fatalf("kind string = %q", a.Kind().String())
+	}
+	if a.BWRate() != 3.2e10 || a.ReadFraction() != 0.8 || a.Intensity() != 1.0 {
+		t.Fatalf("accessors: bw=%v read=%v duty=%v", a.BWRate(), a.ReadFraction(), a.Intensity())
+	}
+	if a.AccessRate() <= 0 {
+		t.Fatal("hog has no bus-side access storm")
+	}
+	// Duty cycle flows through IntensityAt (including ramps) like the
+	// other attacks.
+	if err := a.SetRamp(10); err != nil {
+		t.Fatal(err)
+	}
+	a.Active(0) // activation edge
+	if got := a.IntensityAt(5); got <= 0 || got >= 1.0 {
+		t.Fatalf("ramped intensity at 5s = %v, want in (0,1)", got)
+	}
+	if got := a.IntensityAt(20); got != 1.0 {
+		t.Fatalf("post-ramp intensity = %v, want 1", got)
+	}
+	// Other kinds read zero bandwidth accessors.
+	bl, err := NewBusLock(Always{}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.BWRate() != 0 || bl.ReadFraction() != 0 {
+		t.Fatalf("bus-lock attacker has DRAM fields: %v/%v", bl.BWRate(), bl.ReadFraction())
+	}
+
+	bad := [][4]float64{{0, 0.5, 1, 0}, {-1, 0.5, 1, 0}, {1e9, -0.1, 1, 0}, {1e9, 1.1, 1, 0}, {1e9, 0.5, 0, 0}, {1e9, 0.5, 1.5, 0}}
+	for i, c := range bad {
+		if _, err := NewMemBandwidth(Always{}, c[0], c[1], c[2]); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	if _, err := NewMemBandwidth(nil, 1e9, 0.5, 1); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}

@@ -30,11 +30,20 @@ type actuator struct {
 	applied map[string][]appliedEntry
 }
 
+// mitKind distinguishes the concrete mitigation an appliedEntry records.
+type mitKind int
+
+const (
+	mitThrottle mitKind = iota
+	mitBandwidth
+	mitPartition
+)
+
 // appliedEntry is one concrete mitigation applied on behalf of a session.
 type appliedEntry struct {
-	host      int
-	id        vmm.VMID
-	partition bool // false: exec throttle
+	host int
+	id   vmm.VMID
+	kind mitKind
 }
 
 // suspects returns the attack VMs co-resident with the session's victim,
@@ -59,18 +68,21 @@ func (a *actuator) suspects(session string) ([]appliedEntry, error) {
 // undo releases the session's recorded mitigation of the given kind on
 // whatever host it was applied. Departed husk slots accept the release
 // as a no-op, so an attacker that churned away meanwhile is harmless.
-func (a *actuator) undo(session string, partition bool) error {
+func (a *actuator) undo(session string, kind mitKind) error {
 	kept := a.applied[session][:0]
 	for _, e := range a.applied[session] {
-		if e.partition != partition {
+		if e.kind != kind {
 			kept = append(kept, e)
 			continue
 		}
 		srv := a.c.hosts[e.host].srv
 		var err error
-		if partition {
+		switch kind {
+		case mitPartition:
 			err = srv.SetCachePartition(e.id, false)
-		} else {
+		case mitBandwidth:
+			err = srv.SetMemBandwidthLimit(e.id, 0)
+		default:
 			err = srv.SetExecThrottle(e.id, 0)
 		}
 		if err != nil {
@@ -89,7 +101,7 @@ func (a *actuator) Throttle(session string, duty float64) error {
 	}
 	// A rung change re-resolves suspects: undo the old throttles first so
 	// an attacker that moved since is not left behind at a stale duty.
-	if err := a.undo(session, false); err != nil {
+	if err := a.undo(session, mitThrottle); err != nil {
 		return err
 	}
 	if duty <= 0 {
@@ -108,13 +120,42 @@ func (a *actuator) Throttle(session string, duty float64) error {
 	return nil
 }
 
+// LimitBandwidth applies (or with 0 releases) a MemGuard-style DRAM
+// bandwidth budget on the suspects co-resident with the session's
+// victim. On a cluster whose hosts run without a memory-controller model
+// the underlying call fails and the engine logs the error and keeps
+// climbing the ladder.
+func (a *actuator) LimitBandwidth(session string, bytesPerSec float64) error {
+	if a.applied == nil {
+		a.applied = make(map[string][]appliedEntry)
+	}
+	if err := a.undo(session, mitBandwidth); err != nil {
+		return err
+	}
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	sus, err := a.suspects(session)
+	if err != nil {
+		return err
+	}
+	for _, e := range sus {
+		e.kind = mitBandwidth
+		if err := a.c.hosts[e.host].srv.SetMemBandwidthLimit(e.id, bytesPerSec); err != nil {
+			return err
+		}
+		a.applied[session] = append(a.applied[session], e)
+	}
+	return nil
+}
+
 // Partition toggles pseudo cache-partitioning around the suspects
 // co-resident with the session's victim.
 func (a *actuator) Partition(session string, on bool) error {
 	if a.applied == nil {
 		a.applied = make(map[string][]appliedEntry)
 	}
-	if err := a.undo(session, true); err != nil {
+	if err := a.undo(session, mitPartition); err != nil {
 		return err
 	}
 	if !on {
@@ -125,7 +166,7 @@ func (a *actuator) Partition(session string, on bool) error {
 		return err
 	}
 	for _, e := range sus {
-		e.partition = true
+		e.kind = mitPartition
 		if err := a.c.hosts[e.host].srv.SetCachePartition(e.id, true); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"memdos/internal/attack"
 	"memdos/internal/core"
+	"memdos/internal/mem"
 	"memdos/internal/pcm"
 	"memdos/internal/respond"
 	"memdos/internal/stream"
@@ -40,6 +41,14 @@ type ClosedLoopSpec struct {
 	Respond respond.Config
 	// MaxDuration caps each run (0 = 20x the app's nominal runtime).
 	MaxDuration float64
+	// Mem, when set, runs every arm on a server with the DRAM
+	// memory-controller model on this topology. Required for MemBW
+	// attacks and for the ladder's membw-limit rung to actuate.
+	Mem *mem.NUMAConfig
+	// AttackerSocket homes the attacker on this socket (victim and
+	// utility VMs stay on socket 0). On a multi-socket topology a
+	// non-zero value makes the attack a remote, cross-socket stream.
+	AttackerSocket int
 }
 
 // DefaultClosedLoopSpec returns a study of the given app and attack with
@@ -48,6 +57,12 @@ type ClosedLoopSpec struct {
 func DefaultClosedLoopSpec(app string, mode AttackMode, seed uint64) ClosedLoopSpec {
 	rc := respond.DefaultConfig()
 	rc.EnablePartition = mode == Cleansing
+	if mode == MemBW {
+		// Execution throttling only dents a streaming hog; the MemGuard
+		// budget rung is what contains it. Callers must still set Mem.
+		rc.EnableBandwidth = true
+		rc.BandwidthBudget = MemBWBudget
+	}
 	return ClosedLoopSpec{
 		App:             app,
 		Mode:            mode,
@@ -99,6 +114,13 @@ func (a *loopActuator) Throttle(_ string, duty float64) error {
 	return a.srv.SetExecThrottle(a.suspect, duty)
 }
 
+// LimitBandwidth applies the MemGuard-style DRAM budget to the suspect.
+// On a server without the memory-controller model this reports an error,
+// which the engine records and climbs past.
+func (a *loopActuator) LimitBandwidth(_ string, bytesPerSec float64) error {
+	return a.srv.SetMemBandwidthLimit(a.suspect, bytesPerSec)
+}
+
 func (a *loopActuator) Partition(_ string, on bool) error {
 	return a.srv.SetCachePartition(a.suspect, on)
 }
@@ -124,6 +146,9 @@ func ClosedLoop(spec ClosedLoopSpec) (*ClosedLoopResult, error) {
 	}
 	if spec.Mode == NoAttack {
 		return nil, fmt.Errorf("experiments: closed loop needs an attack mode")
+	}
+	if spec.Mode == MemBW && spec.Mem == nil {
+		return nil, fmt.Errorf("experiments: the %v attack needs a memory-controller model (ClosedLoopSpec.Mem)", MemBW)
 	}
 	ws, err := workload.ByAbbrev(spec.App)
 	if err != nil {
@@ -172,6 +197,7 @@ func ClosedLoop(spec ClosedLoopSpec) (*ClosedLoopResult, error) {
 func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool, out *ClosedLoopResult) (float64, error) {
 	cfg := vmm.DefaultConfig()
 	cfg.Seed = spec.Seed
+	cfg.Mem = spec.Mem
 	srv, err := vmm.NewServer(cfg)
 	if err != nil {
 		return 0, err
@@ -183,6 +209,11 @@ func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool,
 	victim, err := srv.AddApp("victim", appSpec)
 	if err != nil {
 		return 0, err
+	}
+	if spec.Mem != nil {
+		if err := srv.SetVMSocket(victim.ID(), 0); err != nil {
+			return 0, err
+		}
 	}
 	var sched *attack.Suppressor
 	var atkVM *vmm.VM
@@ -197,10 +228,28 @@ func closedLoopRun(spec ClosedLoopSpec, maxDur float64, attacked, mitigate bool,
 		if atkVM, err = srv.AddAttacker("attacker", atk); err != nil {
 			return 0, err
 		}
+		if spec.Mem != nil {
+			if err := srv.SetVMSocket(atkVM.ID(), spec.AttackerSocket); err != nil {
+				return 0, err
+			}
+			if spec.AttackerSocket != 0 {
+				// A cross-socket hog streams entirely into the victim's
+				// memory, so all its traffic is remote.
+				if err := srv.SetMemRemoteFraction(atkVM.ID(), 1); err != nil {
+					return 0, err
+				}
+			}
+		}
 	}
 	for i := 0; i < spec.UtilityVMs; i++ {
-		if _, err := srv.AddApp(fmt.Sprintf("util%d", i), workload.Utility()); err != nil {
+		util, err := srv.AddApp(fmt.Sprintf("util%d", i), workload.Utility())
+		if err != nil {
 			return 0, err
+		}
+		if spec.Mem != nil {
+			if err := srv.SetVMSocket(util.ID(), 0); err != nil {
+				return 0, err
+			}
 		}
 	}
 

@@ -14,6 +14,7 @@ import (
 
 	"memdos/internal/attack"
 	"memdos/internal/core"
+	"memdos/internal/mem"
 	"memdos/internal/metrics"
 	"memdos/internal/sim"
 	"memdos/internal/trace"
@@ -44,6 +45,16 @@ const (
 	BusLockDuty       = 0.7
 	CleansingPressure = 0.6
 	CleansingRate     = 2e6
+	// MemBW attack intensities: a sequential streaming hog pushing
+	// ~32 GB/s of mostly-read traffic at full duty — enough to saturate
+	// a socket's DRAM channels while barely moving the LLC counters.
+	MemBWBytesPerSec = 3.2e10
+	MemBWReadFrac    = 0.8
+	MemBWDuty        = 1.0
+	// MemBWBudget is the MemGuard-style per-VM budget the closed loop's
+	// membw-limit rung applies — a small fraction of a socket's capacity,
+	// enough for a benign VM but crippling for the hog.
+	MemBWBudget = 2e9
 )
 
 // AttackMode selects the attack (or none) for a run.
@@ -54,6 +65,10 @@ const (
 	NoAttack AttackMode = iota
 	BusLock
 	Cleansing
+	// MemBW is the DRAM bandwidth hog (Bechtel & Yun, arXiv:2005.10864):
+	// it saturates the memory channels rather than the bus or LLC, so
+	// runs using it need a memory-controller model (RunSpec.Mem).
+	MemBW
 )
 
 // String names the mode.
@@ -65,6 +80,8 @@ func (m AttackMode) String() string {
 		return "bus locking"
 	case Cleansing:
 		return "LLC cleansing"
+	case MemBW:
+		return "DRAM bandwidth"
 	default:
 		return fmt.Sprintf("AttackMode(%d)", int(m))
 	}
@@ -102,6 +119,17 @@ type RunSpec struct {
 	Service bool
 	// HyperLoad models the active detector's CPU cost on the hypervisor.
 	HyperLoad float64
+	// AttackStart overrides the non-adaptive attack window's start
+	// (0 = Scenario1AttackStart). Shorter studies place the transition
+	// mid-run so both regimes are observed.
+	AttackStart float64
+	// Mem, when set, runs the testbed on a server with the DRAM
+	// memory-controller model on this topology. Required for MemBW.
+	Mem *mem.NUMAConfig
+	// AttackerSocket homes the attacker on this socket (the victim and
+	// utility VMs stay on socket 0). Non-zero on a multi-socket
+	// topology makes the attack a remote, cross-socket stream.
+	AttackerSocket int
 }
 
 // DefaultRunSpec returns a Scenario 1 run of the given app and mode.
@@ -131,8 +159,12 @@ type RunResult struct {
 // buildServer assembles the testbed of Section VI-A1: one victim VM, one
 // attack VM, and UtilityVMs benign VMs.
 func buildServer(spec RunSpec) (*vmm.Server, *vmm.VM, []metrics.Interval, error) {
+	if spec.Mode == MemBW && spec.Mem == nil {
+		return nil, nil, nil, fmt.Errorf("experiments: the %v attack needs a memory-controller model (RunSpec.Mem)", MemBW)
+	}
 	cfg := vmm.DefaultConfig()
 	cfg.Seed = spec.Seed
+	cfg.Mem = spec.Mem
 	srv, err := vmm.NewServer(cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -148,6 +180,11 @@ func buildServer(spec RunSpec) (*vmm.Server, *vmm.VM, []metrics.Interval, error)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if spec.Mem != nil {
+		if err := srv.SetVMSocket(victim.ID(), 0); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 
 	var truth []metrics.Interval
 	if spec.Mode != NoAttack {
@@ -162,20 +199,43 @@ func buildServer(spec RunSpec) (*vmm.Server, *vmm.VM, []metrics.Interval, error)
 			}
 			sched = ad
 		} else {
-			sched = attack.Window{Start: Scenario1AttackStart, End: spec.Duration}
-			truth = []metrics.Interval{{Start: Scenario1AttackStart, End: spec.Duration}}
+			start := spec.AttackStart
+			if start <= 0 {
+				start = Scenario1AttackStart
+			}
+			sched = attack.Window{Start: start, End: spec.Duration}
+			truth = []metrics.Interval{{Start: start, End: spec.Duration}}
 		}
 		atk, err := newAttacker(spec.Mode, sched)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if _, err := srv.AddAttacker("attacker", atk); err != nil {
+		atkVM, err := srv.AddAttacker("attacker", atk)
+		if err != nil {
 			return nil, nil, nil, err
+		}
+		if spec.Mem != nil {
+			if err := srv.SetVMSocket(atkVM.ID(), spec.AttackerSocket); err != nil {
+				return nil, nil, nil, err
+			}
+			if spec.AttackerSocket != 0 {
+				// A cross-socket hog streams entirely into the victim's
+				// memory, so all its traffic is remote.
+				if err := srv.SetMemRemoteFraction(atkVM.ID(), 1); err != nil {
+					return nil, nil, nil, err
+				}
+			}
 		}
 	}
 	for i := 0; i < spec.UtilityVMs; i++ {
-		if _, err := srv.AddApp(fmt.Sprintf("util%d", i), workload.Utility()); err != nil {
+		util, err := srv.AddApp(fmt.Sprintf("util%d", i), workload.Utility())
+		if err != nil {
 			return nil, nil, nil, err
+		}
+		if spec.Mem != nil {
+			if err := srv.SetVMSocket(util.ID(), 0); err != nil {
+				return nil, nil, nil, err
+			}
 		}
 	}
 	if spec.HyperLoad > 0 {
@@ -194,6 +254,8 @@ func newAttacker(mode AttackMode, sched attack.Schedule) (*attack.Attacker, erro
 		return attack.NewBusLock(sched, BusLockDuty)
 	case Cleansing:
 		return attack.NewLLCCleansing(sched, CleansingPressure, CleansingRate)
+	case MemBW:
+		return attack.NewMemBandwidth(sched, MemBWBytesPerSec, MemBWReadFrac, MemBWDuty)
 	default:
 		return nil, fmt.Errorf("experiments: no attacker for mode %v", mode)
 	}

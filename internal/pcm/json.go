@@ -9,11 +9,15 @@ import (
 
 // sampleJSON is the wire form of a Sample. Pointer fields distinguish a
 // missing key from an explicit zero, so ingestion can reject partial
-// samples instead of silently defaulting counters to 0.
+// samples instead of silently defaulting counters to 0. The DRAM fields
+// bw/lat arrived after the 3-field format shipped and are therefore
+// optional on decode (absent = 0), keeping old producers valid.
 type sampleJSON struct {
-	Time      *float64 `json:"t"`
-	AccessNum *float64 `json:"access"`
-	MissNum   *float64 `json:"miss"`
+	Time       *float64 `json:"t"`
+	AccessNum  *float64 `json:"access"`
+	MissNum    *float64 `json:"miss"`
+	BWBytes    *float64 `json:"bw,omitempty"`
+	AvgLatency *float64 `json:"lat,omitempty"`
 }
 
 // Validate reports whether the sample is a usable counter observation:
@@ -30,17 +34,30 @@ func (s Sample) Validate() error {
 		return fmt.Errorf("pcm: non-finite MissNum %v", s.MissNum)
 	case s.AccessNum < 0 || s.MissNum < 0:
 		return fmt.Errorf("pcm: negative counters %v/%v", s.AccessNum, s.MissNum)
+	case math.IsNaN(s.BWBytes) || math.IsInf(s.BWBytes, 0):
+		return fmt.Errorf("pcm: non-finite BWBytes %v", s.BWBytes)
+	case math.IsNaN(s.AvgLatency) || math.IsInf(s.AvgLatency, 0):
+		return fmt.Errorf("pcm: non-finite AvgLatency %v", s.AvgLatency)
+	case s.BWBytes < 0 || s.AvgLatency < 0:
+		return fmt.Errorf("pcm: negative DRAM counters %v/%v", s.BWBytes, s.AvgLatency)
 	}
 	return nil
 }
 
-// MarshalJSON encodes the sample as {"t":..,"access":..,"miss":..}. A
-// sample that fails Validate (NaN/Inf values) refuses to encode.
+// MarshalJSON encodes the sample as {"t":..,"access":..,"miss":..} plus
+// "bw"/"lat" when either DRAM field is non-zero (zero-valued DRAM fields
+// are elided so memory-model-free producers keep emitting the original
+// 3-field form byte for byte). A sample that fails Validate (NaN/Inf
+// values) refuses to encode.
 func (s Sample) MarshalJSON() ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return json.Marshal(sampleJSON{Time: &s.Time, AccessNum: &s.AccessNum, MissNum: &s.MissNum})
+	w := sampleJSON{Time: &s.Time, AccessNum: &s.AccessNum, MissNum: &s.MissNum}
+	if s.BWBytes != 0 || s.AvgLatency != 0 { //memdos:ignore floateq exact zero elides the optional wire fields
+		w.BWBytes, w.AvgLatency = &s.BWBytes, &s.AvgLatency
+	}
+	return json.Marshal(w)
 }
 
 // UnmarshalJSON decodes and validates a sample. All three fields are
@@ -58,6 +75,12 @@ func (s *Sample) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("pcm: sample missing required field (t/access/miss)")
 	}
 	out := Sample{Time: *w.Time, AccessNum: *w.AccessNum, MissNum: *w.MissNum}
+	if w.BWBytes != nil {
+		out.BWBytes = *w.BWBytes
+	}
+	if w.AvgLatency != nil {
+		out.AvgLatency = *w.AvgLatency
+	}
 	if err := out.Validate(); err != nil {
 		return err
 	}

@@ -111,3 +111,61 @@ func TestCounterLargeRatioTolerance(t *testing.T) {
 		t.Errorf("exact multiple 707000 rejected: %v", err)
 	}
 }
+
+// TestSampleJSONBackCompat is the regression test for the bw/lat wire
+// extension: samples produced before the DRAM fields existed (3-field
+// form) must still decode, with the missing fields reading as zero; a
+// zero-DRAM sample must still *encode* to the old 3-field form.
+func TestSampleJSONBackCompat(t *testing.T) {
+	var s Sample
+	if err := json.Unmarshal([]byte(`{"t":1.25,"access":120,"miss":8}`), &s); err != nil {
+		t.Fatalf("legacy 3-field sample rejected: %v", err)
+	}
+	if s.BWBytes != 0 || s.AvgLatency != 0 {
+		t.Fatalf("legacy sample grew DRAM fields: %+v", s)
+	}
+	b, err := json.Marshal(Sample{Time: 1, AccessNum: 2, MissNum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"bw"`) || strings.Contains(string(b), `"lat"`) {
+		t.Fatalf("zero-DRAM sample emits new fields: %s", b)
+	}
+}
+
+func TestSampleJSONDRAMFields(t *testing.T) {
+	in := Sample{Time: 2.5, AccessNum: 10, MissNum: 4, BWBytes: 6.4e7, AvgLatency: 3.2e-8}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bw":`, `"lat":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form %s missing %s", b, key)
+		}
+	}
+	var out Sample
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+	// Hostile DRAM values are rejected on decode and on Validate.
+	for _, c := range []string{
+		`{"t":1,"access":2,"miss":3,"bw":-1}`,
+		`{"t":1,"access":2,"miss":3,"lat":-1e-9}`,
+		`{"t":1,"access":2,"miss":3,"bw":1e999}`,
+	} {
+		var s Sample
+		if err := json.Unmarshal([]byte(c), &s); err == nil {
+			t.Errorf("accepted %s as %+v", c, s)
+		}
+	}
+	if err := (Sample{BWBytes: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN BWBytes accepted")
+	}
+	if err := (Sample{AvgLatency: math.Inf(1)}).Validate(); err == nil {
+		t.Error("Inf AvgLatency accepted")
+	}
+}

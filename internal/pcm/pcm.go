@@ -22,6 +22,13 @@ type Sample struct {
 	AccessNum float64
 	// MissNum is the number of LLC misses during the interval.
 	MissNum float64
+	// BWBytes is the DRAM traffic delivered to the VM during the interval
+	// in bytes (PCM's memory-bandwidth counters). Zero when the host runs
+	// without a memory-controller model.
+	BWBytes float64
+	// AvgLatency is the average per-line DRAM latency over the interval in
+	// seconds, or zero when no lines were delivered (or no memory model).
+	AvgLatency float64
 }
 
 // Counter aggregates one VM's per-tick access/miss counts into PCM samples.
@@ -38,6 +45,12 @@ type Counter struct {
 	retain       bool
 	accessSeries *trace.Series
 	missSeries   *trace.Series
+	// DRAM accumulators fed by AddMem between Observe completions. The
+	// latency average is delivered-line weighted, so latAccum holds the
+	// weighted sum and lineAccum the weight.
+	bwAccum   float64
+	latAccum  float64
+	lineAccum float64
 }
 
 // NewCounter returns a counter sampling every tpcm seconds for a simulation
@@ -85,6 +98,19 @@ func (c *Counter) TPCM() float64 { return c.tpcm }
 // should not be used for figure traces.
 func (c *Counter) SetRetainHistory(on bool) { c.retain = on }
 
+// AddMem records one simulation tick's worth of DRAM traffic: bytes
+// delivered, the delivered-line-weighted latency sum in seconds, and the
+// line count carrying that weight. Hosts without a memory model simply
+// never call it, leaving the bandwidth fields of every sample zero.
+func (c *Counter) AddMem(bytes, latencySum, lines float64) {
+	if bytes < 0 || latencySum < 0 || lines < 0 {
+		panic(fmt.Sprintf("pcm: negative DRAM accounting %v/%v/%v", bytes, latencySum, lines))
+	}
+	c.bwAccum += bytes
+	c.latAccum += latencySum
+	c.lineAccum += lines
+}
+
 // Observe records one simulation tick's worth of accesses and misses. When
 // the tick completes a sampling interval, Observe returns the finished
 // sample and true.
@@ -106,6 +132,10 @@ func (c *Counter) Observe(accesses, misses float64) (Sample, bool) {
 		Time:      c.tpcm + float64(c.count)*c.tpcm,
 		AccessNum: c.accessAccum,
 		MissNum:   c.missAccum,
+		BWBytes:   c.bwAccum,
+	}
+	if c.lineAccum > 0 {
+		s.AvgLatency = c.latAccum / c.lineAccum
 	}
 	if c.retain {
 		c.accessSeries.Append(s.AccessNum)
@@ -113,6 +143,7 @@ func (c *Counter) Observe(accesses, misses float64) (Sample, bool) {
 	}
 	c.count++
 	c.accessAccum, c.missAccum, c.tickCount = 0, 0, 0
+	c.bwAccum, c.latAccum, c.lineAccum = 0, 0, 0
 	return s, true
 }
 
@@ -134,6 +165,7 @@ func (c *Counter) SkipToSample(n int) {
 	}
 	c.count = n
 	c.accessAccum, c.missAccum, c.tickCount = 0, 0, 0
+	c.bwAccum, c.latAccum, c.lineAccum = 0, 0, 0
 }
 
 // AccessSeries returns the full AccessNum series recorded so far. The

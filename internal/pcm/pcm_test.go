@@ -116,3 +116,57 @@ func TestTPCM(t *testing.T) {
 		t.Errorf("TPCM = %v", got)
 	}
 }
+
+func TestAddMemFoldsIntoSample(t *testing.T) {
+	c := MustNewCounter("mem", 0.02, 0.01)
+	c.AddMem(1000, 2e-7, 10)
+	c.Observe(1, 0)
+	c.AddMem(3000, 6e-7, 30)
+	s, done := c.Observe(1, 0)
+	if !done {
+		t.Fatal("sample not completed")
+	}
+	if s.BWBytes != 4000 {
+		t.Fatalf("BWBytes = %v, want 4000", s.BWBytes)
+	}
+	if want := 8e-7 / 40; s.AvgLatency != want {
+		t.Fatalf("AvgLatency = %v, want %v", s.AvgLatency, want)
+	}
+	// Accumulators reset: a DRAM-idle interval reads zero.
+	s, done = c.Observe(1, 0)
+	if done {
+		t.Fatal("early sample")
+	}
+	s, done = c.Observe(1, 0)
+	if !done || s.BWBytes != 0 || s.AvgLatency != 0 {
+		t.Fatalf("DRAM accumulators leaked across samples: %+v (done=%v)", s, done)
+	}
+}
+
+func TestAddMemNegativePanics(t *testing.T) {
+	c := MustNewCounter("mem", 0.01, 0.01)
+	for i, fn := range []func(){
+		func() { c.AddMem(-1, 0, 0) },
+		func() { c.AddMem(0, -1, 0) },
+		func() { c.AddMem(0, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: negative AddMem did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSkipToSampleDropsDRAMAccum(t *testing.T) {
+	c := MustNewCounter("mem", 0.01, 0.01)
+	c.AddMem(5000, 1e-7, 5)
+	c.SkipToSample(3)
+	s, done := c.Observe(1, 0)
+	if !done || s.BWBytes != 0 || s.AvgLatency != 0 {
+		t.Fatalf("skip kept partial DRAM accumulation: %+v (done=%v)", s, done)
+	}
+}

@@ -16,6 +16,12 @@ type Actuator interface {
 	// Throttle caps the suspect VM's execution to (1-duty) of its share.
 	// duty 0 clears the throttle.
 	Throttle(session string, duty float64) error
+	// LimitBandwidth caps the suspect VM's delivered DRAM bandwidth at
+	// bytesPerSec — the MemGuard-style budget of Zhang et al.
+	// (arXiv:1603.03404). bytesPerSec 0 clears the cap. Actuators on
+	// hosts without a memory-controller model report an error, which the
+	// engine records in the action log and keeps climbing past.
+	LimitBandwidth(session string, bytesPerSec float64) error
 	// Partition toggles pseudo cache-partitioning around the suspect VM,
 	// containing its LLC evictions (no effect on bus locking).
 	Partition(session string, on bool) error
@@ -36,9 +42,12 @@ type MigrateResult struct {
 // Applied is the mitigation state a LogActuator currently holds for one
 // session.
 type Applied struct {
-	Duty       float64 `json:"duty"`
-	Partition  bool    `json:"partition"`
-	Migrations int     `json:"migrations"`
+	Duty float64 `json:"duty"`
+	// BandwidthLimit is the recorded DRAM budget in bytes/second
+	// (0 = no cap).
+	BandwidthLimit float64 `json:"bandwidth_limit,omitempty"`
+	Partition      bool    `json:"partition"`
+	Migrations     int     `json:"migrations"`
 	// LastDest is the destination reported for the most recent migration
 	// (always empty for LogActuator itself, which has no host notion, but
 	// kept in the record so mixed deployments serialize uniformly).
@@ -66,6 +75,16 @@ func (l *LogActuator) Throttle(session string, duty float64) error {
 	defer l.mu.Unlock()
 	st := l.state[session]
 	st.Duty = duty
+	l.state[session] = st
+	return nil
+}
+
+// LimitBandwidth records the DRAM budget.
+func (l *LogActuator) LimitBandwidth(session string, bytesPerSec float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state[session]
+	st.BandwidthLimit = bytesPerSec
 	l.state[session] = st
 	return nil
 }

@@ -11,7 +11,11 @@
 // effective mitigation. The engine therefore escalates each session
 // through a ladder of increasingly strong actions
 //
-//	idle → throttle(d_1) → … → throttle(d_T) → cache partition → migrate
+//	idle → throttle(d_1) → … → throttle(d_T) → membw-limit → cache partition → migrate
+//
+// (the membw-limit rung — a MemGuard-style DRAM bandwidth budget on the
+// suspect, after Zhang et al. — and the partition rung are each present
+// only when enabled in Config)
 //
 // and backs off the same ladder with hysteresis and a cooldown:
 //
@@ -49,6 +53,15 @@ type Config struct {
 	// to the suspect VM: duty d withholds fraction d of its execution.
 	// Must be ascending, each in (0, 1].
 	ThrottleDuties []float64
+	// EnableBandwidth adds a MemGuard-style DRAM bandwidth-budget rung
+	// between the last throttle step and the partition rung: the suspect
+	// VM's delivered memory bandwidth is capped at BandwidthBudget
+	// (effective against a DRAM bandwidth hog that execution throttling
+	// alone only dents; see vmm.SetMemBandwidthLimit).
+	EnableBandwidth bool
+	// BandwidthBudget is the bytes-per-second cap the bandwidth rung
+	// applies. Must be positive when EnableBandwidth is set.
+	BandwidthBudget float64
 	// EnablePartition adds a pseudo cache-partitioning rung above the
 	// last throttle step (effective against LLC cleansing; a bus-locking
 	// attacker is unaffected by it, see vmm.SetCachePartition).
@@ -97,6 +110,9 @@ func (c Config) Validate() error {
 		}
 		prev = d
 	}
+	if c.EnableBandwidth && c.BandwidthBudget <= 0 {
+		return fmt.Errorf("respond: bandwidth rung enabled with non-positive budget %v", c.BandwidthBudget)
+	}
 	if c.EscalateAfter <= 0 {
 		return fmt.Errorf("respond: non-positive EscalateAfter %v", c.EscalateAfter)
 	}
@@ -109,10 +125,20 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Action kinds, as recorded in Action.Kind and the JSON action log.
+const (
+	ActionThrottle  = "throttle"
+	ActionBandwidth = "membw-limit"
+	ActionPartition = "partition"
+	ActionRelease   = "release"
+	ActionMigrate   = "migrate"
+)
+
 // Action is one recorded policy transition of a session.
 type Action struct {
 	Time float64 `json:"t"`
-	// Kind is "throttle", "partition", "release" or "migrate".
+	// Kind is one of the Action* constants (ActionThrottle,
+	// ActionBandwidth, ActionPartition, ActionRelease, ActionMigrate).
 	Kind string `json:"kind"`
 	// Level is the ladder rung after the transition.
 	Level int `json:"level"`
@@ -185,6 +211,7 @@ type session struct {
 	forced int
 
 	partitionOn bool
+	bandwidthOn bool
 	curDuty     float64
 
 	migrations    int
@@ -199,8 +226,9 @@ type Engine struct {
 	act Actuator
 
 	// Ladder geometry: rungs 1..throttleTop are throttle steps,
-	// partitionLevel/migrateLevel are 0 when disabled.
+	// bandwidthLevel/partitionLevel/migrateLevel are 0 when disabled.
 	throttleTop    int
+	bandwidthLevel int
 	partitionLevel int
 	migrateLevel   int
 	maxLevel       int
@@ -213,6 +241,7 @@ type Engine struct {
 
 	events           metrics.Counter
 	throttles        metrics.Counter
+	bwLimits         metrics.Counter
 	partitions       metrics.Counter
 	releases         metrics.Counter
 	migrations       metrics.Counter
@@ -237,6 +266,10 @@ func New(cfg Config, act Actuator) (*Engine, error) {
 	e := &Engine{cfg: cfg, act: act, sessions: make(map[string]*session)}
 	e.throttleTop = len(cfg.ThrottleDuties)
 	e.maxLevel = e.throttleTop
+	if cfg.EnableBandwidth {
+		e.maxLevel++
+		e.bandwidthLevel = e.maxLevel
+	}
 	if cfg.EnablePartition {
 		e.maxLevel++
 		e.partitionLevel = e.maxLevel
@@ -258,6 +291,8 @@ func (e *Engine) LevelName(level int) string {
 		return "idle"
 	case level <= e.throttleTop:
 		return fmt.Sprintf("throttle(%.2f)", e.cfg.ThrottleDuties[level-1])
+	case level == e.bandwidthLevel:
+		return "membw-limit"
 	case level == e.partitionLevel:
 		return "partition"
 	case level == e.migrateLevel:
@@ -429,7 +464,7 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 		res, err := e.act.Migrate(s.name)
 		e.migrations.Inc()
 		s.migrations++
-		e.record(s, Action{Time: now, Kind: "migrate", Level: 0, Reason: reasonMigrated, Dest: res.Dest}, err)
+		e.record(s, Action{Time: now, Kind: ActionMigrate, Level: 0, Reason: reasonMigrated, Dest: res.Dest}, err)
 		e.releaseLocked(s, now, reasonMigrated)
 		s.level = 0
 		s.levelSince = now
@@ -443,42 +478,57 @@ func (e *Engine) apply(s *session, level int, now float64, reason string) {
 	if s.partitionOn && (e.partitionLevel == 0 || level < e.partitionLevel) {
 		err := e.act.Partition(s.name, false)
 		e.partitions.Inc()
-		e.record(s, Action{Time: now, Kind: "partition", Level: level, Reason: reason}, err)
+		e.record(s, Action{Time: now, Kind: ActionPartition, Level: level, Reason: reason}, err)
 		s.partitionOn = false
+	}
+	if s.bandwidthOn && (e.bandwidthLevel == 0 || level < e.bandwidthLevel) {
+		err := e.act.LimitBandwidth(s.name, 0)
+		e.bwLimits.Inc()
+		e.record(s, Action{Time: now, Kind: ActionBandwidth, Level: level, Reason: reason}, err)
+		s.bandwidthOn = false
+	}
+	// stackThrottle holds the session at the given throttle duty — the
+	// rungs above throttleTop keep the strongest throttle underneath.
+	stackThrottle := func(duty float64, level int) {
+		// curDuty only ever holds 0 or a value copied verbatim from
+		// ThrottleDuties, so exact comparison detects no-op transitions.
+		if s.curDuty != duty { //memdos:ignore floateq
+			err := e.act.Throttle(s.name, duty)
+			e.throttles.Inc()
+			e.record(s, Action{Time: now, Kind: ActionThrottle, Level: level, Duty: duty, Reason: reason}, err)
+			s.curDuty = duty
+		}
+	}
+	// stackBandwidth applies the MemGuard budget — the partition rung
+	// keeps the bandwidth cap of the rung below it active.
+	stackBandwidth := func(level int) {
+		if e.bandwidthLevel > 0 && !s.bandwidthOn {
+			err := e.act.LimitBandwidth(s.name, e.cfg.BandwidthBudget)
+			e.bwLimits.Inc()
+			e.record(s, Action{Time: now, Kind: ActionBandwidth, Level: level, Duty: e.cfg.BandwidthBudget, Reason: reason}, err)
+			s.bandwidthOn = true
+		}
 	}
 	switch {
 	case level == 0:
 		if s.curDuty != 0 { //memdos:ignore floateq curDuty holds literal 0 or a cfg value copied verbatim; exact no-op detection
 			err := e.act.Throttle(s.name, 0)
 			e.releases.Inc()
-			e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
+			e.record(s, Action{Time: now, Kind: ActionRelease, Level: 0, Reason: reason}, err)
 			s.curDuty = 0
 		}
 	case level <= e.throttleTop:
-		duty := e.cfg.ThrottleDuties[level-1]
-		// curDuty only ever holds 0 or a value copied verbatim from
-		// ThrottleDuties, so exact comparison detects no-op transitions.
-		if s.curDuty != duty { //memdos:ignore floateq
-			err := e.act.Throttle(s.name, duty)
-			e.throttles.Inc()
-			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
-			s.curDuty = duty
-		}
+		stackThrottle(e.cfg.ThrottleDuties[level-1], level)
+	case level == e.bandwidthLevel:
+		stackThrottle(e.cfg.ThrottleDuties[e.throttleTop-1], level)
+		stackBandwidth(level)
 	case level == e.partitionLevel:
-		// Partitioning stacks on the strongest throttle step.
-		duty := e.cfg.ThrottleDuties[e.throttleTop-1]
-		// curDuty only ever holds 0 or a value copied verbatim from
-		// ThrottleDuties, so exact comparison detects no-op transitions.
-		if s.curDuty != duty { //memdos:ignore floateq
-			err := e.act.Throttle(s.name, duty)
-			e.throttles.Inc()
-			e.record(s, Action{Time: now, Kind: "throttle", Level: level, Duty: duty, Reason: reason}, err)
-			s.curDuty = duty
-		}
+		stackThrottle(e.cfg.ThrottleDuties[e.throttleTop-1], level)
+		stackBandwidth(level)
 		if !s.partitionOn {
 			err := e.act.Partition(s.name, true)
 			e.partitions.Inc()
-			e.record(s, Action{Time: now, Kind: "partition", Level: level, Duty: duty, Reason: reason}, err)
+			e.record(s, Action{Time: now, Kind: ActionPartition, Level: level, Reason: reason}, err)
 			s.partitionOn = true
 		}
 	}
@@ -494,13 +544,19 @@ func (e *Engine) releaseLocked(s *session, now float64, reason string) {
 	if s.partitionOn {
 		err := e.act.Partition(s.name, false)
 		e.partitions.Inc()
-		e.record(s, Action{Time: now, Kind: "partition", Level: 0, Reason: reason}, err)
+		e.record(s, Action{Time: now, Kind: ActionPartition, Level: 0, Reason: reason}, err)
 		s.partitionOn = false
+	}
+	if s.bandwidthOn {
+		err := e.act.LimitBandwidth(s.name, 0)
+		e.bwLimits.Inc()
+		e.record(s, Action{Time: now, Kind: ActionBandwidth, Level: 0, Reason: reason}, err)
+		s.bandwidthOn = false
 	}
 	if s.curDuty != 0 { //memdos:ignore floateq curDuty holds literal 0 or a cfg value copied verbatim; exact no-op detection
 		err := e.act.Throttle(s.name, 0)
 		e.releases.Inc()
-		e.record(s, Action{Time: now, Kind: "release", Level: 0, Reason: reason}, err)
+		e.record(s, Action{Time: now, Kind: ActionRelease, Level: 0, Reason: reason}, err)
 		s.curDuty = 0
 	}
 }
@@ -636,17 +692,18 @@ func (e *Engine) stateLocked(s *session) SessionState {
 
 // Stats is a programmatic snapshot of the engine counters.
 type Stats struct {
-	Sessions       int
-	Mitigated      int
-	Events         uint64
-	Throttles      uint64
-	Partitions     uint64
-	Releases       uint64
-	Migrations     uint64
-	Escalations    uint64
-	Deescalations  uint64
-	Overrides      uint64
-	ActuatorErrors uint64
+	Sessions        int
+	Mitigated       int
+	Events          uint64
+	Throttles       uint64
+	BandwidthLimits uint64
+	Partitions      uint64
+	Releases        uint64
+	Migrations      uint64
+	Escalations     uint64
+	Deescalations   uint64
+	Overrides       uint64
+	ActuatorErrors  uint64
 }
 
 // Stats snapshots the engine counters.
@@ -660,17 +717,18 @@ func (e *Engine) Stats() Stats {
 	}
 	e.mu.Unlock()
 	return Stats{
-		Sessions:       n,
-		Mitigated:      mit,
-		Events:         e.events.Value(),
-		Throttles:      e.throttles.Value(),
-		Partitions:     e.partitions.Value(),
-		Releases:       e.releases.Value(),
-		Migrations:     e.migrations.Value(),
-		Escalations:    e.escalations.Value(),
-		Deescalations:  e.deescalations.Value(),
-		Overrides:      e.overrides.Value(),
-		ActuatorErrors: e.actuatorErrors.Value(),
+		Sessions:        n,
+		Mitigated:       mit,
+		Events:          e.events.Value(),
+		Throttles:       e.throttles.Value(),
+		BandwidthLimits: e.bwLimits.Value(),
+		Partitions:      e.partitions.Value(),
+		Releases:        e.releases.Value(),
+		Migrations:      e.migrations.Value(),
+		Escalations:     e.escalations.Value(),
+		Deescalations:   e.deescalations.Value(),
+		Overrides:       e.overrides.Value(),
+		ActuatorErrors:  e.actuatorErrors.Value(),
 	}
 }
 
@@ -681,6 +739,8 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
 		"Alarm transitions observed by the respond engine.", &e.events)
 	reg.RegisterCounter("memdos_respond_throttle_actions_total",
 		"Suspect-VM throttle actions applied.", &e.throttles)
+	reg.RegisterCounter("memdos_respond_bandwidth_actions_total",
+		"DRAM bandwidth-budget applications and clears.", &e.bwLimits)
 	reg.RegisterCounter("memdos_respond_partition_actions_total",
 		"Cache partition toggles applied.", &e.partitions)
 	reg.RegisterCounter("memdos_respond_release_actions_total",

@@ -37,6 +37,10 @@ func (f *fakeAct) Throttle(sess string, duty float64) error {
 	return f.add(call{kind: "throttle", sess: sess, duty: duty})
 }
 
+func (f *fakeAct) LimitBandwidth(sess string, bytesPerSec float64) error {
+	return f.add(call{kind: "membw", sess: sess, duty: bytesPerSec})
+}
+
 func (f *fakeAct) Partition(sess string, on bool) error {
 	return f.add(call{kind: "partition", sess: sess, on: on})
 }
@@ -525,4 +529,140 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// TestBandwidthRung walks the full ladder with the membw-limit rung
+// enabled: it sits between the last throttle step and partition, stacks
+// the strongest throttle underneath, stays applied while partitioned,
+// and is released in reverse order on hysteresis back-off.
+func TestBandwidthRung(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableBandwidth = true
+	cfg.BandwidthBudget = 2e9
+	eng, act := newTestEngine(t, cfg)
+
+	// Geometry: 3 throttles, then membw-limit, partition, migrate.
+	if eng.MaxLevel() != 6 {
+		t.Fatalf("MaxLevel = %d, want 6", eng.MaxLevel())
+	}
+	if got := eng.LevelName(4); got != "membw-limit" {
+		t.Fatalf("LevelName(4) = %q", got)
+	}
+	if got := eng.LevelName(5); got != "partition" {
+		t.Fatalf("LevelName(5) = %q", got)
+	}
+
+	// Sustained alarm climbs one rung per EscalateAfter.
+	raise(t, eng, "v", 0)
+	eng.Tick(30)
+	eng.Tick(60)
+	eng.Tick(90) // level 4: membw-limit
+	if got := level(t, eng, "v"); got != 4 {
+		t.Fatalf("level after 90s = %d, want 4 (membw-limit)", got)
+	}
+	// The rung stacked the top throttle and the budget.
+	calls := act.log()
+	last := calls[len(calls)-1]
+	if last.kind != "membw" || last.duty != 2e9 {
+		t.Fatalf("last call at membw rung = %+v, want membw budget 2e9", last)
+	}
+	if prev := calls[len(calls)-2]; prev.kind != "throttle" || prev.duty != 0.75 {
+		t.Fatalf("membw rung did not stack top throttle: %+v", prev)
+	}
+
+	// Partition rung keeps the budget: no extra membw call, one partition.
+	eng.Tick(120)
+	if got := level(t, eng, "v"); got != 5 {
+		t.Fatalf("level after 120s = %d, want 5 (partition)", got)
+	}
+	newCalls := act.log()[len(calls):]
+	for _, c := range newCalls {
+		if c.kind == "membw" {
+			t.Fatalf("partition rung re-applied membw: %+v", newCalls)
+		}
+	}
+	if last := newCalls[len(newCalls)-1]; last.kind != "partition" || !last.on {
+		t.Fatalf("partition rung calls = %+v", newCalls)
+	}
+
+	// Hysteresis back-off releases in reverse order: partition off first
+	// (budget still held), then the budget cleared, then weaker throttles.
+	clear(t, eng, "v", 121)
+	eng.Tick(131) // back to 4
+	if got := level(t, eng, "v"); got != 4 {
+		t.Fatalf("level after first backoff = %d, want 4", got)
+	}
+	calls = act.log()
+	if last := calls[len(calls)-1]; last.kind != "partition" || last.on {
+		t.Fatalf("backoff to membw rung should only drop partition, got %+v", last)
+	}
+	eng.Tick(141) // back to 3: budget cleared, throttle 0.75 kept
+	if got := level(t, eng, "v"); got != 3 {
+		t.Fatalf("level after second backoff = %d, want 3", got)
+	}
+	calls = act.log()
+	if last := calls[len(calls)-1]; last.kind != "membw" || last.duty != 0 {
+		t.Fatalf("backoff past membw rung should clear the budget, got %+v", last)
+	}
+	eng.Tick(151) // level 2: throttle weakens
+	if got := level(t, eng, "v"); got != 2 {
+		t.Fatalf("level = %d, want 2", got)
+	}
+	calls = act.log()
+	if last := calls[len(calls)-1]; last.kind != "throttle" || last.duty != 0.5 {
+		t.Fatalf("expected throttle 0.5, got %+v", last)
+	}
+
+	st := eng.Stats()
+	if st.BandwidthLimits != 2 { // one apply, one clear
+		t.Fatalf("BandwidthLimits = %d, want 2", st.BandwidthLimits)
+	}
+}
+
+// TestBandwidthRungDisabled pins that without EnableBandwidth the ladder
+// is byte-for-byte the old geometry and never calls LimitBandwidth.
+func TestBandwidthRungDisabled(t *testing.T) {
+	eng, act := newTestEngine(t, testConfig())
+	if eng.MaxLevel() != 5 {
+		t.Fatalf("MaxLevel = %d, want 5", eng.MaxLevel())
+	}
+	raise(t, eng, "v", 0)
+	for tt := 30.0; tt <= 150; tt += 30 {
+		eng.Tick(tt)
+	}
+	for _, c := range act.log() {
+		if c.kind == "membw" {
+			t.Fatalf("LimitBandwidth called with rung disabled: %+v", c)
+		}
+	}
+	if eng.Stats().BandwidthLimits != 0 {
+		t.Fatal("BandwidthLimits counter moved with rung disabled")
+	}
+}
+
+// TestBandwidthRungFlapReentry pins the flap-cooldown interaction: a
+// session that backed off from the membw rung re-enters one rung above
+// where it left when the alarm flaps back within Cooldown.
+func TestBandwidthRungFlapReentry(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableBandwidth = true
+	cfg.BandwidthBudget = 1e9
+	eng, _ := newTestEngine(t, cfg)
+	raise(t, eng, "v", 0)
+	eng.Tick(30)
+	eng.Tick(60)
+	eng.Tick(90) // membw rung (4)
+	clear(t, eng, "v", 91)
+	// Walk all the way down: 4 releases at 101, 111, 121, 131.
+	for tt := 101.0; tt <= 131; tt += 10 {
+		eng.Tick(tt)
+	}
+	if got := level(t, eng, "v"); got != 0 {
+		t.Fatalf("did not fully release: level %d", got)
+	}
+	// Flap back within Cooldown: re-enter at memLevel+1 = 2.
+	raise(t, eng, "v", 140)
+	if got := level(t, eng, "v"); got != 2 {
+		t.Fatalf("flap re-entry level = %d, want 2", got)
+	}
 }

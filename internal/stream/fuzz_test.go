@@ -22,6 +22,11 @@ func FuzzDecodeIngest(f *testing.F) {
 		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1e999,"miss":1}]}]}`,
 		`{"batches":[{"session":"vm-1","samples":[{"t":NaN,"access":1,"miss":1}]}]}`,
 		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"extra":2}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"bw":6.4e7,"lat":3.2e-8}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"bw":-1}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"lat":1e999}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"bw":NaN}]}]}`,
+		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1,"lat":0}]}]}`,
 		`{"batches":[{"session":"vm-1","samples":[{"t":1,"access":1,"miss":1}]}]}trailing`,
 		`{"unknown":true}`,
 		`[]`, `null`, `"x"`, `{`, ``,

@@ -26,9 +26,31 @@ import (
 
 	"memdos/internal/attack"
 	"memdos/internal/bus"
+	"memdos/internal/mem"
 	"memdos/internal/pcm"
 	"memdos/internal/sim"
 	"memdos/internal/workload"
+)
+
+// DRAM-side modelling constants, active only when Config.Mem is set.
+const (
+	// memAppRowHit is the intrinsic row-buffer hit fraction of a mixed
+	// application workload (moderate spatial locality).
+	memAppRowHit = 0.55
+	// memHogRowHit is the sequential bandwidth hog's intrinsic row-buffer
+	// hit fraction (streaming keeps the row open almost always).
+	memHogRowHit = 0.92
+	// memWriteCost is the channel-time multiplier of a written line
+	// relative to a read (read-for-ownership + writeback).
+	memWriteCost = 1.5
+	// memIssueFloor bounds how far DRAM stalls can suppress a VM's issue
+	// rate: even a fully memory-stalled core keeps memIssueFloor of its
+	// LLC access rate in flight (MLP + prefetchers keep requests issuing
+	// while retirement stalls). This gap between issue rate and progress
+	// is what lets a DRAM hog slow a victim far more than its AccessNum
+	// dips — the detector-evasion asymmetry of Bechtel & Yun
+	// (arXiv:2005.10864).
+	memIssueFloor = 0.55
 )
 
 // VMID identifies a VM on one server.
@@ -46,6 +68,12 @@ type Config struct {
 	BusCapacity float64
 	// Seed seeds the server's RNG; every VM derives its own stream.
 	Seed uint64
+	// Mem, when non-nil, puts a DRAM memory-controller model behind the
+	// bus/cache layer: application misses and bandwidth-hog streams become
+	// line-sized DRAM requests arbitrated per NUMA socket, and every VM's
+	// PCM samples grow delivered-bandwidth and average-latency counters.
+	// nil (the default) keeps the original bus-only server, bit for bit.
+	Mem *mem.NUMAConfig
 	// DisableHistory turns off PCM series retention for this server's
 	// counters: samples are still produced with correct timestamps, but
 	// no per-VM history accumulates. The cluster simulator sets this —
@@ -127,6 +155,14 @@ type Server struct {
 	// away from the other tenants: their cleansing pressure is contained.
 	partitioned []bool
 
+	// mc is the DRAM model (nil unless Config.Mem is set); memStall is the
+	// one-step-lagged issue attenuation each app VM carries into the next
+	// step (floored at memIssueFloor, see the constant); memBaseLat is the
+	// uncontended per-line latency progress is measured against.
+	mc         *mem.Controller
+	memStall   []float64
+	memBaseLat float64
+
 	// Per-step scratch, reused across Step calls so the per-tick hot loop
 	// does not allocate: stepStates is indexed by VMID (VM ids are their
 	// index in vms), stepSamples backs StepResult.Samples.
@@ -152,13 +188,22 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MissPenalty < 0 {
 		return nil, fmt.Errorf("vmm: negative miss penalty %v", cfg.MissPenalty)
 	}
-	return &Server{
+	s := &Server{
 		cfg:            cfg,
 		clock:          sim.NewClock(cfg.TPCM),
 		bus:            bus.New(cfg.BusCapacity),
 		rng:            sim.NewRNG(cfg.Seed),
 		throttleExcept: -1,
-	}, nil
+	}
+	if cfg.Mem != nil {
+		mc, err := mem.New(*cfg.Mem)
+		if err != nil {
+			return nil, err
+		}
+		s.mc = mc
+		s.memBaseLat = cfg.Mem.BaselineLatency(memAppRowHit)
+	}
+	return s, nil
 }
 
 // MustNewServer is NewServer but panics on bad configuration.
@@ -201,6 +246,12 @@ func (s *Server) addVM(vm *VM, name string) {
 	s.counters = append(s.counters, c)
 	s.execThrottle = append(s.execThrottle, 0)
 	s.partitioned = append(s.partitioned, false)
+	s.memStall = append(s.memStall, 1)
+	if s.mc != nil {
+		// Default NUMA affinity: round-robin over sockets, overridable via
+		// SetVMSocket.
+		_ = s.mc.SetHome(mem.Owner(vm.id), int(vm.id)%s.cfg.Mem.Sockets)
+	}
 }
 
 // Counter returns the PCM counter of the given VM, or nil if unknown.
@@ -327,6 +378,19 @@ func (s *Server) Step() StepResult {
 				cleansePressure = p
 			}
 			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*thr*dt)
+		case attack.MemBandwidth:
+			// The hog's stream lives below the LLC: its DRAM demand is the
+			// raw bytes times the duty cycle (IntensityAt), with written
+			// lines costing extra channel time. Without a memory model the
+			// stream has nowhere to land and only the modest bus-side
+			// access storm remains.
+			duty := vm.attacker.IntensityAt(now) * thr
+			s.bus.RequestAccesses(bus.Owner(vm.id), vm.attacker.AccessRate()*duty*dt)
+			if s.mc != nil {
+				rf := vm.attacker.ReadFraction()
+				bytes := vm.attacker.BWRate() * duty * dt * (rf + memWriteCost*(1-rf))
+				s.mc.Request(mem.Owner(vm.id), bytes, memHogRowHit)
+			}
 		}
 	}
 
@@ -350,12 +414,23 @@ func (s *Server) Step() StepResult {
 		}
 		thr := 1 - s.execThrottle[vm.id]
 		requested := demand * stall * thr
+		if s.mc != nil {
+			// DRAM back-pressure from the previous step attenuates this
+			// step's issue rate, floored at memIssueFloor (see constant).
+			requested *= s.memStall[vm.id]
+			// Each LLC miss is one line of DRAM traffic.
+			s.mc.Request(mem.Owner(vm.id), requested*m*s.cfg.Mem.LineBytes, memAppRowHit)
+		}
 		s.bus.RequestAccesses(bus.Owner(vm.id), requested)
 		states[vm.id] = appState{requested: requested, miss: m, stall: stall, thr: thr, active: true}
 	}
 
-	// Phase 3: bus arbitration.
+	// Phase 3: bus arbitration, then DRAM arbitration behind it.
 	delivered := s.bus.Resolve(dt)
+	var memRes mem.Resolution
+	if s.mc != nil {
+		memRes = s.mc.Resolve(dt)
+	}
 
 	// Phase 4: progress and PCM accounting.
 	if s.stepSamples == nil {
@@ -378,6 +453,20 @@ func (s *Server) Step() StepResult {
 				ratio = d / st.requested
 			}
 			speed := st.stall * ratio * (1 - s.hyperLoad) * st.thr
+			if s.mc != nil {
+				// DRAM contention slows progress two ways: undelivered
+				// lines (delivery ratio) and slower lines (latency stretch
+				// over the uncontended baseline). The issue-rate floor for
+				// the *next* step dips much less than progress does — see
+				// memIssueFloor.
+				o := mem.Owner(vm.id)
+				memFactor := memRes.RatioOf(o)
+				if lat := memRes.LatencyOf(o); lat > s.memBaseLat {
+					memFactor *= s.memBaseLat / lat
+				}
+				speed *= memFactor
+				s.memStall[vm.id] = memIssueFloor + (1-memIssueFloor)*memFactor
+			}
 			vm.lastSpeed = speed
 			vm.app.Advance(dt, speed)
 			if !vm.Completed() && vm.app.Done() {
@@ -387,6 +476,12 @@ func (s *Server) Step() StepResult {
 			misses = d * st.miss
 		} else {
 			vm.lastSpeed = 0
+		}
+		if s.mc != nil {
+			o := mem.Owner(vm.id)
+			if lines := memRes.LinesOf(o); lines > 0 {
+				s.counters[vm.id].AddMem(lines*s.cfg.Mem.LineBytes, memRes.LatencySumOf(o), lines)
+			}
 		}
 		if sample, ok := s.counters[vm.id].Observe(accesses, misses); ok {
 			res.Samples[vm.id] = sample
@@ -462,6 +557,13 @@ func (s *Server) ExportVM(id VMID) (*VMState, error) {
 	s.counters[id] = nil
 	s.execThrottle[id] = 0
 	s.partitioned[id] = false
+	s.memStall[id] = 1
+	if s.mc != nil {
+		// Mitigation state stays with the source hypervisor: the husk's
+		// slot drops its bandwidth budget and NUMA overrides.
+		_ = s.mc.SetBudget(mem.Owner(id), 0)
+		_ = s.mc.SetRemoteFraction(mem.Owner(id), 0)
+	}
 	return st, nil
 }
 
@@ -496,6 +598,81 @@ func (s *Server) AdmitVM(st *VMState) (*VM, error) {
 	s.counters = append(s.counters, c)
 	s.execThrottle = append(s.execThrottle, 0)
 	s.partitioned = append(s.partitioned, false)
+	s.memStall = append(s.memStall, 1)
+	if s.mc != nil {
+		_ = s.mc.SetHome(mem.Owner(vm.id), int(vm.id)%s.cfg.Mem.Sockets)
+	}
 	st.app, st.attacker, st.counter = nil, nil, nil
 	return vm, nil
+}
+
+// HasMem reports whether the server runs the DRAM memory-controller
+// model (Config.Mem was set).
+func (s *Server) HasMem() bool { return s.mc != nil }
+
+// errNoMem is the shared guard for memory-model-only operations.
+func (s *Server) memCheck(id VMID) error {
+	if s.mc == nil {
+		return fmt.Errorf("vmm: server has no memory model (Config.Mem is nil)")
+	}
+	if int(id) < 0 || int(id) >= len(s.vms) {
+		return fmt.Errorf("vmm: no VM %d", id)
+	}
+	return nil
+}
+
+// SetVMSocket pins the VM's NUMA home socket (default: VM id modulo
+// socket count). Placement decides attack reach: a hog homed on the
+// victim's socket contends for the victim's channels directly.
+func (s *Server) SetVMSocket(id VMID, socket int) error {
+	if err := s.memCheck(id); err != nil {
+		return err
+	}
+	return s.mc.SetHome(mem.Owner(id), socket)
+}
+
+// VMSocket returns the VM's NUMA home socket (0 without a memory model).
+func (s *Server) VMSocket(id VMID) int {
+	if s.mc == nil {
+		return 0
+	}
+	return s.mc.Home(mem.Owner(id))
+}
+
+// SetMemRemoteFraction declares what fraction of the VM's DRAM traffic
+// targets remotely-homed pages — cross-socket reach for an attacker, or
+// a poorly-placed victim's working set.
+func (s *Server) SetMemRemoteFraction(id VMID, frac float64) error {
+	if err := s.memCheck(id); err != nil {
+		return err
+	}
+	return s.mc.SetRemoteFraction(mem.Owner(id), frac)
+}
+
+// SetMemBandwidthLimit applies a MemGuard-style DRAM bandwidth budget to
+// the VM in bytes per second (0 clears it) — the reversible mitigation
+// primitive behind the respond ladder's bandwidth rung (Zhang et al.,
+// arXiv:1603.03404).
+func (s *Server) SetMemBandwidthLimit(id VMID, bytesPerSec float64) error {
+	if err := s.memCheck(id); err != nil {
+		return err
+	}
+	return s.mc.SetBudget(mem.Owner(id), bytesPerSec)
+}
+
+// MemBandwidthLimit returns the VM's DRAM bandwidth budget (0 =
+// unlimited or no memory model).
+func (s *Server) MemBandwidthLimit(id VMID) float64 {
+	if s.mc == nil {
+		return 0
+	}
+	return s.mc.Budget(mem.Owner(id))
+}
+
+// MemStats returns the VM's accumulated DRAM statistics.
+func (s *Server) MemStats(id VMID) (mem.Stats, error) {
+	if err := s.memCheck(id); err != nil {
+		return mem.Stats{}, err
+	}
+	return s.mc.Stats(mem.Owner(id)), nil
 }

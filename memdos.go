@@ -6,10 +6,11 @@
 // library:
 //
 //   - a virtualized-server substrate (set-associative LLC, lockable memory
-//     bus, VM scheduler with execution throttling, PCM-style hardware
-//     counters),
+//     bus, NUMA DRAM memory controller, VM scheduler with execution
+//     throttling, PCM-style hardware counters),
 //   - the two memory DoS attacks (atomic bus locking, LLC cleansing with
-//     its probing phase) and the paper's adaptive attack schedule,
+//     its probing phase), the paper's adaptive attack schedule, and a
+//     beyond-the-paper DRAM bandwidth hog,
 //   - counter-process models of the paper's ten cloud applications,
 //   - the detection schemes: SDS/B, SDS/P, combined SDS, the LSTM-FCN
 //     cascade DNN detector (including a from-scratch deep-learning stack),
@@ -29,6 +30,7 @@ import (
 	"memdos/internal/core"
 	"memdos/internal/dnn"
 	"memdos/internal/experiments"
+	"memdos/internal/mem"
 	"memdos/internal/metrics"
 	"memdos/internal/pcm"
 	"memdos/internal/respond"
@@ -187,6 +189,21 @@ type (
 // RespondForceNone unpins an operator-forced mitigation level.
 const RespondForceNone = respond.ForceNone
 
+// Recorded mitigation action kinds (RespondAction.Action values).
+const (
+	// RespondActionThrottle is an execution-throttle rung.
+	RespondActionThrottle = respond.ActionThrottle
+	// RespondActionBandwidth is the MemGuard-style DRAM bandwidth-budget
+	// rung (requires RespondConfig.EnableBandwidth).
+	RespondActionBandwidth = respond.ActionBandwidth
+	// RespondActionPartition is the cache-partition rung.
+	RespondActionPartition = respond.ActionPartition
+	// RespondActionMigrate is the terminal migration rung.
+	RespondActionMigrate = respond.ActionMigrate
+	// RespondActionRelease is a hysteresis-driven back-off.
+	RespondActionRelease = respond.ActionRelease
+)
+
 var (
 	// NewRespondEngine builds a mitigation engine over an actuator.
 	NewRespondEngine = respond.New
@@ -216,6 +233,13 @@ type (
 	Attacker = attack.Attacker
 	// AttackSchedule decides when the attack is enabled.
 	AttackSchedule = attack.Schedule
+	// NUMAConfig parameterizes the DRAM memory-controller model
+	// (ServerConfig.Mem; nil keeps the legacy LLC-only server).
+	NUMAConfig = mem.NUMAConfig
+	// MemController is the standalone DRAM memory-controller model.
+	MemController = mem.Controller
+	// MemStats is one owner's cumulative delivered-DRAM view.
+	MemStats = mem.Stats
 )
 
 // Testbed constructors and registries.
@@ -232,8 +256,16 @@ var (
 	NewBusLockAttack = attack.NewBusLock
 	// NewLLCCleansingAttack builds the LLC cleansing attacker.
 	NewLLCCleansingAttack = attack.NewLLCCleansing
+	// NewMemBandwidthAttack builds the DRAM bandwidth-hog attacker
+	// (requires a server configured with a NUMAConfig).
+	NewMemBandwidthAttack = attack.NewMemBandwidth
 	// NewAdaptiveSchedule builds the Scenario 2 on/off schedule.
 	NewAdaptiveSchedule = attack.NewAdaptive
+	// DefaultNUMAConfig returns the reference DRAM topology for a socket
+	// count (two 12.8 GB/s channels per socket).
+	DefaultNUMAConfig = mem.DefaultNUMAConfig
+	// NewMemController builds a standalone DRAM memory-controller model.
+	NewMemController = mem.New
 )
 
 // Attack schedule values.
@@ -346,6 +378,14 @@ type (
 	ClosedLoopSpec = experiments.ClosedLoopSpec
 	// ClosedLoopResult reports recovered performance under mitigation.
 	ClosedLoopResult = experiments.ClosedLoopResult
+	// BandwidthSpec sizes the DRAM bandwidth-hog study.
+	BandwidthSpec = experiments.BandwidthSpec
+	// BandwidthResult is the study's detection matrix + closed loops.
+	BandwidthResult = experiments.BandwidthResult
+	// BandwidthCell is one (topology, placement, detector) score.
+	BandwidthCell = experiments.BandwidthCell
+	// BandwidthLoop is one placement's three closed-loop ladder variants.
+	BandwidthLoop = experiments.BandwidthLoop
 )
 
 // Attack modes for RunSpec.
@@ -353,6 +393,7 @@ const (
 	NoAttack     = experiments.NoAttack
 	BusLock      = experiments.BusLock
 	LLCCleansing = experiments.Cleansing
+	MemBandwidth = experiments.MemBW
 )
 
 // Experiment harness entry points.
@@ -386,6 +427,12 @@ var (
 	ClosedLoopStudy = experiments.ClosedLoop
 	// DefaultClosedLoopSpec configures the study for one app and attack.
 	DefaultClosedLoopSpec = experiments.DefaultClosedLoopSpec
+	// BandwidthStudy runs the DRAM bandwidth-hog study: detector scoring
+	// plus the closed loop with the membw-limit rung, on 1- and
+	// multi-socket NUMA topologies.
+	BandwidthStudy = experiments.BandwidthStudy
+	// DefaultBandwidthSpec sizes the study for one application.
+	DefaultBandwidthSpec = experiments.DefaultBandwidthSpec
 	// ContainerStudy runs the Section VIII serverless future-work
 	// scenario.
 	ContainerStudy = experiments.ContainerStudy
