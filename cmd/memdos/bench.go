@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -15,8 +18,12 @@ import (
 	"memdos/internal/bus"
 	"memdos/internal/cache"
 	"memdos/internal/cluster"
+	"memdos/internal/core"
+	"memdos/internal/daemon"
 	"memdos/internal/experiments"
 	"memdos/internal/mem"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
 	"memdos/internal/vmm"
 	"memdos/internal/workload"
 )
@@ -178,6 +185,8 @@ var microBenches = []struct {
 	{"probe/find-contested", benchFindContested},
 	{"dnn/train-step", benchDNNTrainStep},
 	{"dnn/infer", benchDNNInfer},
+	{"ingest/decode-batch", benchDecodeBatch},
+	{"ingest/stream", benchIngestStream},
 }
 
 // measure runs one micro-benchmark benchReps times and keeps the fastest
@@ -333,6 +342,85 @@ func benchFindContested(b *testing.B) {
 				c.Access(victim, c.AddrForSet(set, uint64(i)<<8|uint64(set)))
 			}
 		}, 1)
+	}
+}
+
+// benchDecodeBatch decodes one 64-sample binary frame into reused
+// buffers — the per-frame cost of the fleet-scale ingest path. The
+// codec contract is 0 allocs/op (TestDecodeBatchIntoZeroAlloc); the
+// alloc gate here keeps it that way.
+func benchDecodeBatch(b *testing.B) {
+	samples := make([]pcm.Sample, 64)
+	for i := range samples {
+		samples[i] = pcm.Sample{
+			Time: 0.01 * float64(i+1), AccessNum: 100 + float64(i%7), MissNum: 10,
+			BWBytes: 6.4e7, AvgLatency: 3.2e-8,
+		}
+	}
+	wire, err := pcm.AppendBatch(nil, "vm-bench", samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := wire[pcm.FramePrefixBytes:]
+	dst := make([]pcm.Sample, 0, len(samples))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pcm.DecodeBatchInto(dst[:0], body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIngestStream pushes a 64-frame binary body through the full
+// daemon handler — frame reader, decode, session intern, hub submit,
+// detection. Shards is pinned to 1 so the number measures the ingest
+// pipeline, not this machine's core count.
+func benchIngestStream(b *testing.B) {
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block
+	cfg.Shards = 1
+	hub := stream.NewHub(cfg)
+	defer hub.Close()
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Open("vm-bench", "raw"); err != nil {
+		b.Fatal(err)
+	}
+	srv := daemon.New(hub, nil)
+
+	const framesPerReq, samplesPerFrame = 64, 64
+	samples := make([]pcm.Sample, samplesPerFrame)
+	var body []byte
+	for f := 0; f < framesPerReq; f++ {
+		for i := range samples {
+			samples[i] = pcm.Sample{
+				Time:      0.01 * float64(f*samplesPerFrame+i+1),
+				AccessNum: 100, MissNum: 10,
+			}
+		}
+		var err error
+		body, err = pcm.AppendBatch(body, "vm-bench", samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		req := httptest.NewRequest("POST", "/v1/ingest/stream", rd)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
 	}
 }
 

@@ -1,0 +1,455 @@
+package main
+
+// The loadgen subcommand drives a memdosd daemon at fleet-scale ingest
+// rates and reports what the paper's serving story needs measured:
+// sustained samples/sec, per-batch send latency percentiles, and the
+// daemon's GC pause accounting (bmgc-style: throughput means nothing if
+// the collector eats it back in pauses).
+//
+// With -addr it targets a running daemon; without, it spawns the full
+// daemon data path in-process on a loopback listener — same HTTP stack,
+// same handlers — so CI can smoke the ingest path with one command.
+//
+// -codec selects the wire format: the original JSON route
+// (POST /v1/ingest, one request per batch) or the binary streaming
+// route (POST /v1/ingest/stream, length-prefixed pcm frames on one
+// persistent connection). "both" runs JSON then binary on disjoint
+// session names and reports the throughput ratio; -min-ratio turns the
+// ratio into a pass/fail gate.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"memdos/internal/core"
+	"memdos/internal/daemon"
+	"memdos/internal/metrics"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
+)
+
+type loadgenConfig struct {
+	base     string // daemon base URL
+	sessions int
+	batch    int
+	rate     float64 // samples/sec per session; 0 = unthrottled
+	dur      time.Duration
+	profile  string
+}
+
+// loadgenResult is one codec's aggregate measurement.
+type loadgenResult struct {
+	codec      string
+	accepted   int
+	dropped    int
+	errors     []string
+	wall       float64 // seconds of load window
+	p50        float64 // per-batch send latency, seconds
+	p99        float64
+	max        float64
+	gc         metrics.GCStats // delta over the load window
+	drainClean bool
+}
+
+func (r loadgenResult) throughput() float64 {
+	if r.wall == 0 { //memdos:ignore floateq guard against division by an exactly-zero wall
+		return 0
+	}
+	return float64(r.accepted) / r.wall
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:9464); empty = spawn in-process")
+	sessions := fs.Int("sessions", 4, "concurrent producer sessions per codec")
+	batch := fs.Int("batch", 256, "samples per batch/frame")
+	rate := fs.Float64("rate", 0, "samples/sec per session (0 = unthrottled)")
+	dur := fs.Duration("dur", 2*time.Second, "load window per codec")
+	codec := fs.String("codec", "both", "wire codec: json | binary | both")
+	profile := fs.String("profile", "raw", "detector profile for auto-opened sessions")
+	minRatio := fs.Float64("min-ratio", 0, "with -codec both: fail unless binary/json throughput ratio >= this")
+	fs.Parse(args)
+	if *sessions < 1 || *batch < 1 {
+		return fmt.Errorf("need -sessions >= 1 and -batch >= 1")
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	if base == "" {
+		var err error
+		var shutdown func()
+		base, shutdown, err = spawnDaemon()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("loadgen: spawned in-process daemon at %s\n", base)
+	}
+
+	cfg := loadgenConfig{
+		base: base, sessions: *sessions, batch: *batch,
+		rate: *rate, dur: *dur, profile: *profile,
+	}
+
+	var codecs []string
+	switch *codec {
+	case "json", "binary":
+		codecs = []string{*codec}
+	case "both":
+		codecs = []string{"json", "binary"}
+	default:
+		return fmt.Errorf("unknown -codec %q (json|binary|both)", *codec)
+	}
+
+	results := make(map[string]loadgenResult, len(codecs))
+	for _, c := range codecs {
+		res, err := runLoad(cfg, c)
+		if err != nil {
+			return fmt.Errorf("%s load: %w", c, err)
+		}
+		printResult(res, cfg)
+		if res.accepted == 0 {
+			return fmt.Errorf("%s load accepted no samples", c)
+		}
+		if !res.drainClean {
+			return fmt.Errorf("%s load did not drain cleanly", c)
+		}
+		results[c] = res
+	}
+
+	if len(codecs) == 2 {
+		ratio := results["binary"].throughput() / results["json"].throughput()
+		fmt.Printf("binary/json throughput ratio: %.1fx\n", ratio)
+		if *minRatio > 0 && ratio < *minRatio {
+			return fmt.Errorf("binary/json ratio %.2fx below required %.2fx", ratio, *minRatio)
+		}
+	}
+	return nil
+}
+
+// spawnDaemon assembles the daemon data path — hub, profiles, HTTP
+// handlers — on a loopback listener, the way cmd/memdosd's run() does
+// minus workload profiling (the raw profile needs none).
+func spawnDaemon() (base string, shutdown func(), err error) {
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block
+	hub := stream.NewHub(cfg)
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hub.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: daemon.New(hub, nil)}
+	go srv.Serve(ln)
+	shutdown = func() {
+		srv.Close()
+		hub.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// runLoad drives one codec's load window: cfg.sessions producers, each
+// on its own connection, until the deadline; then waits for the daemon
+// to drain what it accepted.
+func runLoad(cfg loadgenConfig, codec string) (loadgenResult, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.sessions + 2,
+		MaxIdleConnsPerHost: cfg.sessions + 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	gcBefore, err := scrapeGC(client, cfg.base)
+	if err != nil {
+		return loadgenResult{}, err
+	}
+
+	type workerOut struct {
+		resp stream.IngestResponse
+		lats []float64
+		err  error
+	}
+	outs := make([]workerOut, cfg.sessions)
+	deadline := time.Now().Add(cfg.dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("lg-%s-%d", codec, i)
+			o := &outs[i]
+			switch codec {
+			case "json":
+				o.resp, o.lats, o.err = jsonWorker(client, cfg, session, deadline)
+			default:
+				o.resp, o.lats, o.err = binaryWorker(client, cfg, session, deadline)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	res := loadgenResult{codec: codec, wall: wall}
+	var lats []float64
+	for _, o := range outs {
+		if o.err != nil {
+			return res, o.err
+		}
+		res.accepted += o.resp.Accepted
+		res.dropped += o.resp.Dropped
+		res.errors = append(res.errors, o.resp.Errors...)
+		lats = append(lats, o.lats...)
+	}
+	res.p50, res.p99, res.max = latencyStats(lats)
+
+	res.drainClean, err = waitDrain(client, cfg.base, 30*time.Second)
+	if err != nil {
+		return res, err
+	}
+	gcAfter, err := scrapeGC(client, cfg.base)
+	if err != nil {
+		return res, err
+	}
+	res.gc = gcAfter.Sub(gcBefore)
+	return res, nil
+}
+
+// loadSamples builds one batch worth of well-formed samples, timestamps
+// advancing from t0 at 10ms per sample (alarm-free: steady counters).
+func loadSamples(dst []pcm.Sample, n int, t0 float64) []pcm.Sample {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, pcm.Sample{
+			Time:      t0 + 0.01*float64(i+1),
+			AccessNum: 100,
+			MissNum:   10,
+		})
+	}
+	return dst
+}
+
+// pace sleeps long enough to hold the per-session sample rate after
+// sent samples since start. Unthrottled when rate is 0.
+func pace(start time.Time, sent int, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	due := start.Add(time.Duration(float64(sent) / rate * float64(time.Second)))
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// jsonWorker POSTs one /v1/ingest request per batch over a persistent
+// connection; latency is the full request round trip.
+func jsonWorker(client *http.Client, cfg loadgenConfig, session string, deadline time.Time) (stream.IngestResponse, []float64, error) {
+	var (
+		total   stream.IngestResponse
+		lats    []float64
+		samples []pcm.Sample
+		body    bytes.Buffer
+		t0      float64
+		sent    int
+		start   = time.Now()
+	)
+	for time.Now().Before(deadline) {
+		samples = loadSamples(samples, cfg.batch, t0)
+		t0 += 0.01 * float64(cfg.batch)
+		body.Reset()
+		if err := json.NewEncoder(&body).Encode(stream.IngestRequest{Batches: []stream.IngestBatch{
+			{Session: session, Profile: cfg.profile, Samples: samples},
+		}}); err != nil {
+			return total, lats, err
+		}
+		reqStart := time.Now()
+		resp, err := client.Post(cfg.base+"/v1/ingest", "application/json", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return total, lats, err
+		}
+		var ir stream.IngestResponse
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		lats = append(lats, time.Since(reqStart).Seconds())
+		if err != nil {
+			return total, lats, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return total, lats, fmt.Errorf("ingest status %d: %v", resp.StatusCode, ir.Errors)
+		}
+		total.Accepted += ir.Accepted
+		total.Dropped += ir.Dropped
+		total.Errors = append(total.Errors, ir.Errors...)
+		sent += cfg.batch
+		pace(start, sent, cfg.rate)
+	}
+	return total, lats, nil
+}
+
+// binaryWorker holds one streaming POST open for the whole window and
+// writes one length-prefixed frame per batch; latency is the frame
+// write (which absorbs transport backpressure). The server's response
+// arrives once the body is closed.
+func binaryWorker(client *http.Client, cfg loadgenConfig, session string, deadline time.Time) (stream.IngestResponse, []float64, error) {
+	var total stream.IngestResponse
+	pr, pw := io.Pipe()
+	url := cfg.base + "/v1/ingest/stream"
+	if cfg.profile != "" {
+		url += "?profile=" + cfg.profile
+	}
+	type reply struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan reply, 1)
+	go func() {
+		resp, err := client.Post(url, "application/octet-stream", pr)
+		done <- reply{resp, err}
+	}()
+
+	var (
+		lats    []float64
+		samples []pcm.Sample
+		frame   []byte
+		t0      float64
+		sent    int
+		start   = time.Now()
+	)
+	for time.Now().Before(deadline) {
+		samples = loadSamples(samples, cfg.batch, t0)
+		t0 += 0.01 * float64(cfg.batch)
+		var err error
+		frame, err = pcm.AppendBatch(frame[:0], session, samples)
+		if err != nil {
+			pw.CloseWithError(err)
+			<-done
+			return total, lats, err
+		}
+		wStart := time.Now()
+		if _, err := pw.Write(frame); err != nil {
+			// Server closed on us; surface its response below.
+			break
+		}
+		lats = append(lats, time.Since(wStart).Seconds())
+		sent += cfg.batch
+		pace(start, sent, cfg.rate)
+	}
+	pw.Close()
+	rep := <-done
+	if rep.err != nil {
+		return total, lats, rep.err
+	}
+	defer rep.resp.Body.Close()
+	if err := json.NewDecoder(rep.resp.Body).Decode(&total); err != nil {
+		return total, lats, err
+	}
+	if rep.resp.StatusCode != http.StatusOK {
+		return total, lats, fmt.Errorf("stream status %d: %v", rep.resp.StatusCode, total.Errors)
+	}
+	return total, lats, nil
+}
+
+// latencyStats sorts once and reads the percentiles off the slice
+// (metrics.Quantile is an insertion sort meant for tiny inputs; a load
+// window collects hundreds of thousands of points).
+func latencyStats(lats []float64) (p50, p99, max float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(lats)
+	idx := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return idx(0.50), idx(0.99), lats[len(lats)-1]
+}
+
+// scrapeGC reads the daemon's GC counters off /metrics. Loadgen always
+// measures the daemon process (which in in-process mode is this one).
+func scrapeGC(client *http.Client, base string) (metrics.GCStats, error) {
+	var st metrics.GCStats
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "memdos_gc_pause_seconds_total "); ok {
+			if st.PauseTotal, err = strconv.ParseFloat(v, 64); err != nil {
+				return st, fmt.Errorf("parsing %q: %w", line, err)
+			}
+		} else if v, ok := strings.CutPrefix(line, "memdos_gc_cycles_total "); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return st, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			st.Cycles = uint64(f)
+		}
+	}
+	return st, sc.Err()
+}
+
+// waitDrain polls the sessions list until every session's queue is
+// empty — the accepted samples all reached their detectors.
+func waitDrain(client *http.Client, base string, timeout time.Duration) (bool, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/v1/sessions")
+		if err != nil {
+			return false, err
+		}
+		var list struct {
+			Sessions []stream.SessionInfo `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		pending := int64(0)
+		for _, in := range list.Sessions {
+			pending += in.Pending
+		}
+		if pending == 0 {
+			return true, nil
+		}
+		if time.Now().After(deadline) {
+			return false, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func printResult(r loadgenResult, cfg loadgenConfig) {
+	fmt.Printf("%-6s  %9.0f samples/sec  (%d accepted, %d dropped, %d batch errors in %.2fs)\n",
+		r.codec, r.throughput(), r.accepted, r.dropped, len(r.errors), r.wall)
+	fmt.Printf("        batch latency p50 %s  p99 %s  max %s\n",
+		fmtDur(r.p50), fmtDur(r.p99), fmtDur(r.max))
+	drain := "clean"
+	if !r.drainClean {
+		drain = "TIMED OUT"
+	}
+	fmt.Printf("        GC %d cycles, %.2fms pause total; drain %s\n",
+		r.gc.Cycles, r.gc.PauseTotal*1e3, drain)
+}
+
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadgenInProcess smokes the whole loadgen path — spawned daemon,
+// both codecs, drain verification, ratio computation — with a tiny
+// window. The ratio gate itself is exercised with a bar any machine
+// clears (>0), not the perf target; BenchmarkStreamIngest and the CI
+// loadgen step own the real numbers.
+func TestLoadgenInProcess(t *testing.T) {
+	if err := cmdLoadgen([]string{
+		"-sessions", "2", "-batch", "64", "-dur", "150ms", "-codec", "both",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	if err := cmdLoadgen([]string{"-codec", "carrier-pigeon"}); err == nil {
+		t.Fatal("bogus codec accepted")
+	}
+	if err := cmdLoadgen([]string{"-sessions", "0"}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+}
+
+func TestLoadgenRateLimiting(t *testing.T) {
+	start := time.Now()
+	// 2 sessions x 1000 samples/sec for 300ms: must not finish instantly
+	// and must accept roughly rate*dur samples, not millions.
+	if err := cmdLoadgen([]string{
+		"-sessions", "1", "-batch", "50", "-rate", "1000", "-dur", "300ms", "-codec", "binary",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 250*time.Millisecond {
+		t.Fatalf("rate-limited run finished in %v", el)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	p50, p99, max := latencyStats([]float64{5, 1, 3, 2, 4})
+	if p50 != 3 || max != 5 {
+		t.Fatalf("p50=%v max=%v", p50, max)
+	}
+	if p99 != 4 { // index int(0.99*4)=3 of the sorted slice
+		t.Fatalf("p99=%v", p99)
+	}
+	if p50, p99, max = latencyStats(nil); p50 != 0 || p99 != 0 || max != 0 {
+		t.Fatal("empty latency slice must yield zeros")
+	}
+}

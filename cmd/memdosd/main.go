@@ -3,7 +3,9 @@
 // the multi-tenant streaming hub (internal/stream) over HTTP — PCM
 // sample producers POST batches to /v1/ingest, operators inspect
 // per-VM detector state and incidents under /v1/sessions, and the hub
-// counters are scraped from /metrics.
+// counters are scraped from /metrics. High-rate producers stream
+// length-prefixed binary frames to /v1/ingest/stream instead of JSON
+// (see memdos loadgen for the harness that measures both).
 //
 // Usage:
 //
@@ -49,6 +51,7 @@ import (
 	"time"
 
 	"memdos/internal/core"
+	"memdos/internal/daemon"
 	"memdos/internal/experiments"
 	"memdos/internal/respond"
 	"memdos/internal/stream"
@@ -106,7 +109,7 @@ func run(args []string) error {
 		defer stopTicker()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(hub, eng)}
+	srv := &http.Server{Addr: *addr, Handler: daemon.New(hub, eng)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if err := run([]string{"-apps", "NOPE", "-policy", "drop"}); err == nil ||
+		!strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("bogus app: %v", err)
+	}
+}

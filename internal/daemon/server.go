@@ -1,4 +1,10 @@
-package main
+// Package daemon is memdosd's serving layer: the HTTP surface that
+// wires the multi-tenant streaming hub (internal/stream) — and
+// optionally the closed-loop mitigation engine (internal/respond) — to
+// sample producers and operators. It lives outside cmd/memdosd so other
+// binaries (memdos loadgen's in-process mode, tests) can assemble the
+// exact daemon data path without spawning a process.
+package daemon
 
 import (
 	"encoding/json"
@@ -13,9 +19,10 @@ import (
 	"memdos/internal/stream"
 )
 
-// server wires the streaming hub to the HTTP API:
+// Server wires the streaming hub to the HTTP API:
 //
 //	POST /v1/ingest        batched JSON samples, many sessions per call
+//	POST /v1/ingest/stream persistent binary frame stream (see stream_ingest.go)
 //	POST /v1/sessions      open a session {"session":..,"profile":..}
 //	GET  /v1/sessions      list all sessions
 //	GET  /v1/sessions/{id} one session: detector state, open incidents
@@ -25,7 +32,7 @@ import (
 //	GET  /metrics          Prometheus text exposition of the hub counters
 //	GET  /healthz          liveness
 //	GET  /debug/pprof/...  live CPU/heap/goroutine profiling (net/http/pprof)
-type server struct {
+type Server struct {
 	hub      *stream.Hub
 	eng      *respond.Engine // nil when the daemon runs detection-only
 	registry *metrics.Registry
@@ -36,13 +43,17 @@ type server struct {
 	autoOpen sync.Mutex
 }
 
-func newServer(hub *stream.Hub, eng *respond.Engine) *server {
-	s := &server{hub: hub, eng: eng, registry: metrics.NewRegistry(), mux: http.NewServeMux()}
+// New assembles the daemon's HTTP handler around hub. eng may be nil
+// for a detection-only daemon.
+func New(hub *stream.Hub, eng *respond.Engine) *Server {
+	s := &Server{hub: hub, eng: eng, registry: metrics.NewRegistry(), mux: http.NewServeMux()}
 	hub.RegisterMetrics(s.registry)
+	metrics.RegisterRuntimeGC(s.registry)
 	if eng != nil {
 		eng.RegisterMetrics(s.registry)
 	}
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/ingest/stream", s.handleIngestStream)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
@@ -63,7 +74,7 @@ func newServer(hub *stream.Hub, eng *respond.Engine) *server {
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -75,9 +86,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	req, err := stream.DecodeIngest(http.MaxBytesReader(w, r.Body, stream.MaxIngestBytes))
-	if err != nil {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Decode into a pooled request: at a steady ingest rate the batch and
+	// sample slices are recycled across requests instead of allocated and
+	// collected per call (TestIngestHandlerAllocs pins this).
+	req := stream.AcquireIngestRequest()
+	defer stream.ReleaseIngestRequest(req)
+	if err := stream.DecodeIngestInto(req, http.MaxBytesReader(w, r.Body, stream.MaxIngestBytes)); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -106,7 +121,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // ensureSession opens the session on first contact; an existing session
 // with the same profile is fine, a conflicting profile is an error.
-func (s *server) ensureSession(id, profile string) error {
+func (s *Server) ensureSession(id, profile string) error {
 	if in, ok := s.hub.Session(id); ok {
 		if in.Profile != profile {
 			return fmt.Errorf("session open with profile %q, request says %q", in.Profile, profile)
@@ -121,15 +136,16 @@ func (s *server) ensureSession(id, profile string) error {
 	return s.hub.Open(id, profile)
 }
 
-type openSessionRequest struct {
+// OpenSessionRequest is the body of POST /v1/sessions.
+type OpenSessionRequest struct {
 	Session string `json:"session"`
 	Profile string `json:"profile"`
 }
 
-func (s *server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
-	var req openSessionRequest
+	var req OpenSessionRequest
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -146,14 +162,14 @@ func (s *server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, in)
 }
 
-func (s *server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sessions": s.hub.Sessions(),
 		"profiles": s.hub.Profiles(),
 	})
 }
 
-func (s *server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	in, ok := s.hub.Session(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
@@ -162,7 +178,7 @@ func (s *server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, in)
 }
 
-func (s *server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	if err := s.hub.CloseSession(r.PathValue("id")); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -174,7 +190,7 @@ func (s *server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
 }
 
-func (s *server) handleListResponses(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListResponses(w http.ResponseWriter, r *http.Request) {
 	if s.eng == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("mitigation disabled (start memdosd with -respond)"))
 		return
@@ -194,7 +210,7 @@ type overrideRequest struct {
 	Level *int   `json:"level,omitempty"`
 }
 
-func (s *server) handleOverride(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOverride(w http.ResponseWriter, r *http.Request) {
 	if s.eng == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("mitigation disabled (start memdosd with -respond)"))
 		return
@@ -231,11 +247,11 @@ func (s *server) handleOverride(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.registry.WriteTo(w)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

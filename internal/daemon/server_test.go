@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -38,7 +38,7 @@ func newTestDaemon(t *testing.T) (*httptest.Server, *stream.Hub) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(hub, nil))
+	ts := httptest.NewServer(New(hub, nil))
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() { hub.Close() })
 	return ts, hub
@@ -61,7 +61,7 @@ func newRespondDaemon(t *testing.T) (*httptest.Server, *stream.Hub, *respond.Eng
 		t.Fatal(err)
 	}
 	detach := respond.Attach(hub, eng, 64)
-	ts := httptest.NewServer(newServer(hub, eng))
+	ts := httptest.NewServer(New(hub, eng))
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() { hub.Close() })
 	t.Cleanup(detach)
@@ -119,13 +119,13 @@ func TestEndToEnd(t *testing.T) {
 
 	// Explicit session creation.
 	resp, body = doJSON(t, "POST", ts.URL+"/v1/sessions",
-		openSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
+		OpenSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create session: %d %s", resp.StatusCode, body)
 	}
 	// Duplicate -> conflict.
 	resp, _ = doJSON(t, "POST", ts.URL+"/v1/sessions",
-		openSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
+		OpenSessionRequest{Session: "vm-alpha", Profile: "sdsb:test"})
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate session: %d", resp.StatusCode)
 	}
@@ -383,15 +383,5 @@ func TestResponsesEndpoints(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q", want)
 		}
-	}
-}
-
-func TestRunFlagValidation(t *testing.T) {
-	if err := run([]string{"-policy", "bogus"}); err == nil {
-		t.Fatal("bogus policy accepted")
-	}
-	if err := run([]string{"-apps", "NOPE", "-policy", "drop"}); err == nil ||
-		!strings.Contains(err.Error(), "NOPE") {
-		t.Fatalf("bogus app: %v", err)
 	}
 }

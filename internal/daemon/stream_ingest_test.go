@@ -1,0 +1,311 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+	"memdos/internal/stream"
+)
+
+// attackSamples is ingestBody's sample shape without the request
+// wrapper: AccessNum collapses halfway through (bus-locking footprint).
+func attackSamples(n int, t0 float64) []pcm.Sample {
+	samples := make([]pcm.Sample, n)
+	for i := range samples {
+		access := 100 + 3*math.Sin(float64(i)/7)
+		if i >= n/2 {
+			access *= 0.25
+		}
+		samples[i] = pcm.Sample{Time: t0 + 0.01*float64(i+1), AccessNum: access, MissNum: 10}
+	}
+	return samples
+}
+
+// frames encodes batches (session -> consecutive sample chunks) into
+// one binary stream body, chunked chunk samples per frame.
+func frames(t *testing.T, session string, samples []pcm.Sample, chunk int) []byte {
+	t.Helper()
+	var body []byte
+	for off := 0; off < len(samples); off += chunk {
+		end := off + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		var err error
+		body, err = pcm.AppendBatch(body, session, samples[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return body
+}
+
+func postStream(t *testing.T, url string, body []byte, profile string) (*http.Response, []byte) {
+	t.Helper()
+	target := url + "/v1/ingest/stream"
+	if profile != "" {
+		target += "?profile=" + profile
+	}
+	resp, err := http.Post(target, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestStreamIngestEndToEnd(t *testing.T) {
+	ts, hub := newTestDaemon(t)
+
+	// Two sessions multiplexed over one streaming request, auto-opened.
+	body := frames(t, "vm-alpha", attackSamples(600, 0), 64)
+	body = append(body, frames(t, "vm-beta", attackSamples(100, 0), 64)...)
+	resp, out := postStream(t, ts.URL, body, "sdsb:test")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream ingest: %d %s", resp.StatusCode, out)
+	}
+	var ir stream.IngestResponse
+	if err := json.Unmarshal(out, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 700 || ir.Dropped != 0 || len(ir.Errors) != 0 {
+		t.Fatalf("stream response = %+v", ir)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	in, ok := hub.Session("vm-alpha")
+	if !ok || in.Ingested != 600 || in.Profile != "sdsb:test" {
+		t.Fatalf("vm-alpha after stream = %+v", in)
+	}
+	if !in.AlarmActive || len(in.Incidents) == 0 {
+		t.Fatalf("attack not reflected over the stream route: %+v", in)
+	}
+	if in, ok := hub.Session("vm-beta"); !ok || in.Ingested != 100 {
+		t.Fatalf("vm-beta after stream = %+v", in)
+	}
+}
+
+// TestStreamMatchesJSONDecisions is the acceptance bar of the binary
+// route: the same sample stream pushed through /v1/ingest (JSON) and
+// /v1/ingest/stream (binary frames) must produce identical detector
+// decisions — the codec is lossless end to end, not just in unit tests.
+func TestStreamMatchesJSONDecisions(t *testing.T) {
+	newRecordingDaemon := func() (*httptest.Server, *stream.Hub) {
+		cfg := stream.DefaultConfig()
+		cfg.Policy = stream.Block
+		cfg.RecordDecisions = true
+		hub := stream.NewHub(cfg)
+		if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+			return core.NewRawThreshold(0.5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		params := core.DefaultParams()
+		params.W, params.DW, params.HC = 20, 10, 2
+		prof := core.Profile{AccessMean: 100, AccessStd: 5, MissMean: 10, MissStd: 2}
+		if err := hub.RegisterProfile("sdsb:test", func() (core.Detector, error) {
+			return core.NewSDSB(prof, params)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(hub, nil))
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { hub.Close() })
+		return ts, hub
+	}
+	jsonTS, jsonHub := newRecordingDaemon()
+	binTS, binHub := newRecordingDaemon()
+
+	// Full-mantissa values exercise the float packing, the attack shape
+	// exercises alarm transitions; 37 deliberately does not divide the
+	// sample count so the last frame is short.
+	samples := attackSamples(600, 0)
+	for profile, sess := range map[string]string{"raw": "vm-raw", "sdsb:test": "vm-sds"} {
+		req := stream.IngestRequest{Batches: []stream.IngestBatch{
+			{Session: sess, Profile: profile, Samples: samples},
+		}}
+		if resp, body := doJSON(t, "POST", jsonTS.URL+"/v1/ingest", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("json ingest: %d %s", resp.StatusCode, body)
+		}
+		if resp, body := postStream(t, binTS.URL, frames(t, sess, samples, 37), profile); resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream ingest: %d %s", resp.StatusCode, body)
+		}
+	}
+	if err := jsonHub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := binHub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sess := range []string{"vm-raw", "vm-sds"} {
+		want := jsonHub.Decisions(sess)
+		got := binHub.Decisions(sess)
+		if len(want) == 0 {
+			t.Fatalf("%s: no decisions on the JSON route", sess)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d decisions over binary, %d over JSON", sess, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: decision %d differs: binary %+v, json %+v", sess, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamIngestRejectsMalformed(t *testing.T) {
+	ts, hub := newTestDaemon(t)
+	good := frames(t, "vm-1", attackSamples(10, 0), 10)
+
+	cases := map[string][]byte{
+		"garbage":          []byte("not a frame at all..."),
+		"truncated prefix": good[:2],
+		"truncated body":   good[:len(good)-3],
+		"version skew": func() []byte {
+			b := append([]byte(nil), good...)
+			b[pcm.FramePrefixBytes] = 99 // version byte of the first frame
+			return b
+		}(),
+		"oversize frame": {0xff, 0xff, 0xff, 0xff, 0},
+	}
+	for name, body := range cases {
+		resp, out := postStream(t, ts.URL, body, "raw")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, out)
+		}
+		if !strings.Contains(string(out), "frame") {
+			t.Errorf("%s: error %q does not name the frame", name, out)
+		}
+	}
+
+	// A valid stream for an unknown session without ?profile= fails per
+	// batch, not per stream: 400 with the session named.
+	resp, out := postStream(t, ts.URL, frames(t, "ghost", attackSamples(10, 0), 10), "")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(out), "ghost") {
+		t.Errorf("ghost session stream: %d %s", resp.StatusCode, out)
+	}
+
+	// None of the failed streams may have opened the ghost session.
+	if _, ok := hub.Session("ghost"); ok {
+		t.Error("rejected streams opened the ghost session")
+	}
+}
+
+// TestStreamIngestClosedHub: a producer still streaming when the hub
+// shuts down gets 503, the signal to back off and retry elsewhere.
+func TestStreamIngestClosedHub(t *testing.T) {
+	ts, hub := newTestDaemon(t)
+	if err := hub.Open("vm-1", "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postStream(t, ts.URL, frames(t, "vm-1", attackSamples(10, 0), 10), "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream to closed hub: %d %s", resp.StatusCode, out)
+	}
+}
+
+// TestStreamIngestErrorCap: a stream whose every frame fails is cut off
+// after maxStreamErrors instead of consuming the whole body.
+func TestStreamIngestErrorCap(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	var body []byte
+	for i := 0; i < maxStreamErrors+20; i++ {
+		body = append(body, frames(t, "ghost", attackSamples(2, float64(2*i)), 2)...)
+	}
+	resp, out := postStream(t, ts.URL, body, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("error-capped stream: %d %s", resp.StatusCode, out)
+	}
+	var ir stream.IngestResponse
+	if err := json.Unmarshal(out, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Errors) != maxStreamErrors {
+		t.Fatalf("%d errors reported, want the cap %d", len(ir.Errors), maxStreamErrors)
+	}
+}
+
+// TestGCMetricsExposed: the daemon's registry carries the runtime GC
+// counters the load generator and operators read.
+func TestGCMetricsExposed(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	resp, body := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"memdos_gc_pause_seconds_total",
+		"memdos_gc_cycles_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// BenchmarkStreamIngest pushes a many-frame body through the full
+// handler — frame reader, binary decode, session intern, hub submit —
+// and reports per-frame cost. The decode path proper is allocation-free
+// (TestDecodeBatchIntoZeroAlloc); what remains here is the HTTP
+// machinery and the detector's own decision records.
+func BenchmarkStreamIngest(b *testing.B) {
+	cfg := stream.DefaultConfig()
+	cfg.Policy = stream.Block
+	cfg.Shards = 1
+	hub := stream.NewHub(cfg)
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	defer hub.Close()
+	srv := New(hub, nil)
+	if err := hub.Open("vm-1", "raw"); err != nil {
+		b.Fatal(err)
+	}
+
+	const framesPerReq, samplesPerFrame = 64, 64
+	samples := make([]pcm.Sample, samplesPerFrame)
+	var body []byte
+	for f := 0; f < framesPerReq; f++ {
+		for i := range samples {
+			samples[i] = pcm.Sample{
+				Time:      0.01 * float64(f*samplesPerFrame+i+1),
+				AccessNum: 100, MissNum: 10,
+			}
+		}
+		var err error
+		body, err = pcm.AppendBatch(body, "vm-1", samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		req := httptest.NewRequest("POST", "/v1/ingest/stream", rd)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package pcm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// FuzzDecodeBatchInto drives the network-facing binary frame decoder:
+// arbitrary bodies must never panic, and every accepted frame must
+// contain only validated samples that re-encode to a frame decoding
+// back to the same batch (encode/decode are exact inverses on the
+// accepted set).
+func FuzzDecodeBatchInto(f *testing.F) {
+	// A well-formed 5-field frame, built through the real encoder.
+	good, err := AppendBatch(nil, "vm-1", []Sample{
+		{Time: 0.01, AccessNum: 120, MissNum: 8},
+		{Time: 0.02, AccessNum: 117, MissNum: 9, BWBytes: 6.4e7, AvgLatency: 3.2e-8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodBody := good[FramePrefixBytes:]
+
+	// A legacy 3-field frame and a future 7-field frame, hand-rolled.
+	handFrame := func(fields uint64, session string, vals ...float64) []byte {
+		b := []byte{BinaryVersion}
+		b = binary.AppendUvarint(b, fields)
+		b = binary.AppendUvarint(b, uint64(len(session)))
+		b = append(b, session...)
+		b = binary.AppendUvarint(b, uint64(len(vals))/fields)
+		for _, v := range vals {
+			b = binary.AppendUvarint(b, bits.ReverseBytes64(math.Float64bits(v)))
+		}
+		return b
+	}
+	seeds := [][]byte{
+		goodBody,
+		goodBody[:len(goodBody)-1],                       // truncated field
+		goodBody[:1],                                     // version byte only
+		goodBody[:7],                                     // truncated session
+		append([]byte{2}, goodBody[1:]...),               // version skew
+		append([]byte{0}, goodBody[1:]...),               // version zero
+		handFrame(3, "vm-old", 0.01, 120, 8),             // legacy 3-field producer
+		handFrame(7, "vm-new", 0.01, 120, 8, 1, 2, 3, 4), // appended fields
+		handFrame(5, "vm-1", 0.01, math.NaN(), 8, 0, 0),  // NaN counter
+		handFrame(5, "vm-1", 0.01, -120, 8, 0, 0),        // negative counter
+		handFrame(5, "a/b", 0.01, 120, 8, 0, 0),          // bad session byte
+		{BinaryVersion},
+		{BinaryVersion, 2},    // too few fields
+		{BinaryVersion, 0xff}, // too many fields
+		{},
+	}
+	// A sample-count lie: header says 1000 samples, body has one.
+	lie := []byte{BinaryVersion}
+	lie = binary.AppendUvarint(lie, 3)
+	lie = binary.AppendUvarint(lie, 4)
+	lie = append(lie, "vm-1"...)
+	lie = binary.AppendUvarint(lie, 1000)
+	lie = binary.AppendUvarint(lie, bits.ReverseBytes64(math.Float64bits(0.01)))
+	seeds = append(seeds, lie)
+
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dst := make([]Sample, 0, 8)
+		session, samples, err := DecodeBatchInto(dst, body)
+		if err != nil {
+			return
+		}
+		if len(samples) == 0 {
+			t.Fatal("accepted frame with no samples")
+		}
+		if err := validFrameSession(string(session)); err != nil {
+			t.Fatalf("accepted bad session %q: %v", session, err)
+		}
+		for i, s := range samples {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted invalid sample %d %+v: %v", i, s, err)
+			}
+		}
+		// Re-encode and decode again: the batch must survive bit-exactly.
+		wire, err := AppendBatch(nil, string(session), samples)
+		if err != nil {
+			t.Fatalf("accepted batch refuses to re-encode: %v", err)
+		}
+		session2, again, err := DecodeBatchInto(nil, wire[FramePrefixBytes:])
+		if err != nil {
+			t.Fatalf("re-encoded frame refuses to decode: %v", err)
+		}
+		if !bytes.Equal(session, session2) || len(again) != len(samples) {
+			t.Fatalf("round trip changed shape: %q/%d -> %q/%d", session, len(samples), session2, len(again))
+		}
+		for i := range samples {
+			if samples[i] != again[i] {
+				t.Fatalf("round trip changed sample %d: %+v -> %+v", i, samples[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,411 @@
+package pcm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomBatch builds n valid samples with the full counter set, mixing
+// "nice" values (integral counters, the common case the varint packing
+// targets) with awkward full-mantissa floats.
+func randomBatch(rng *rand.Rand, n int) []Sample {
+	out := make([]Sample, n)
+	t := rng.Float64()
+	for i := range out {
+		t += 0.01
+		s := Sample{
+			Time:      t,
+			AccessNum: float64(rng.Intn(1_000_000)),
+			MissNum:   float64(rng.Intn(100_000)),
+		}
+		if rng.Intn(2) == 0 {
+			s.AccessNum += rng.Float64() // full-mantissa path
+			s.MissNum *= rng.Float64()
+		}
+		if rng.Intn(3) == 0 {
+			s.BWBytes = float64(rng.Intn(1 << 30))
+			s.AvgLatency = rng.Float64() * 1e-6
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// encodeFrame is a test helper: one batch, one frame, body only.
+func encodeFrame(t *testing.T, session string, samples []Sample) []byte {
+	t.Helper()
+	frame, err := AppendBatch(nil, session, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame[FramePrefixBytes:]
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var dst []Sample
+	for trial := 0; trial < 50; trial++ {
+		in := randomBatch(rng, 1+rng.Intn(200))
+		body := encodeFrame(t, "vm-roundtrip", in)
+		session, out, err := DecodeBatchInto(dst[:0], body)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dst = out
+		if string(session) != "vm-roundtrip" {
+			t.Fatalf("trial %d: session %q", trial, session)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: %d samples, want %d", trial, len(out), len(in))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("trial %d sample %d: %+v != %+v", trial, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+// TestBinaryMatchesJSON pins codec equivalence: a batch sent through
+// the JSON wire form and the same batch sent through the binary wire
+// form must decode to bit-identical samples, so the two ingest routes
+// feed detectors exactly the same numbers.
+func TestBinaryMatchesJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		in := randomBatch(rng, 1+rng.Intn(64))
+
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON []Sample
+		if err := json.Unmarshal(blob, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+
+		_, viaBinary, err := DecodeBatchInto(nil, encodeFrame(t, "vm-eq", in))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(viaJSON) != len(viaBinary) {
+			t.Fatalf("trial %d: %d vs %d samples", trial, len(viaJSON), len(viaBinary))
+		}
+		for i := range viaJSON {
+			if viaJSON[i] != viaBinary[i] {
+				t.Fatalf("trial %d sample %d: json %+v != binary %+v", trial, i, viaJSON[i], viaBinary[i])
+			}
+		}
+	}
+}
+
+// TestBinaryLegacyThreeFieldFrame: a frame declaring 3 fields per
+// sample (a producer predating the DRAM counters) decodes with
+// BWBytes/AvgLatency zero — the binary analogue of the 3-field JSON
+// form staying valid.
+func TestBinaryLegacyThreeFieldFrame(t *testing.T) {
+	body := []byte{BinaryVersion}
+	body = binary.AppendUvarint(body, 3)
+	body = binary.AppendUvarint(body, uint64(len("vm-old")))
+	body = append(body, "vm-old"...)
+	body = binary.AppendUvarint(body, 2)
+	for _, s := range [][3]float64{{0.01, 120, 8}, {0.02, 117, 9}} {
+		for _, v := range s {
+			body = binary.AppendUvarint(body, bits.ReverseBytes64(math.Float64bits(v)))
+		}
+	}
+	session, out, err := DecodeBatchInto(nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(session) != "vm-old" || len(out) != 2 {
+		t.Fatalf("decoded %q / %d samples", session, len(out))
+	}
+	want := Sample{Time: 0.01, AccessNum: 120, MissNum: 8}
+	if out[0] != want {
+		t.Fatalf("legacy sample = %+v, want %+v", out[0], want)
+	}
+	if out[1].BWBytes != 0 || out[1].AvgLatency != 0 {
+		t.Fatalf("legacy sample grew DRAM counters: %+v", out[1])
+	}
+}
+
+// TestBinarySkipsAppendedFields: a future producer declaring more than
+// 5 fields per sample still decodes on today's reader, extra fields
+// skipped.
+func TestBinarySkipsAppendedFields(t *testing.T) {
+	body := []byte{BinaryVersion}
+	body = binary.AppendUvarint(body, 7)
+	body = binary.AppendUvarint(body, uint64(len("vm-new")))
+	body = append(body, "vm-new"...)
+	body = binary.AppendUvarint(body, 1)
+	for _, v := range []float64{0.01, 120, 8, 6.4e7, 3.2e-8, 42, 43} {
+		body = binary.AppendUvarint(body, bits.ReverseBytes64(math.Float64bits(v)))
+	}
+	_, out, err := DecodeBatchInto(nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sample{Time: 0.01, AccessNum: 120, MissNum: 8, BWBytes: 6.4e7, AvgLatency: 3.2e-8}
+	if len(out) != 1 || out[0] != want {
+		t.Fatalf("decoded %+v, want %+v", out, want)
+	}
+}
+
+func TestBinaryDecodeRejects(t *testing.T) {
+	good := encodeFrame(t, "vm-1", []Sample{{Time: 0.01, AccessNum: 120, MissNum: 8}})
+	versionSkew := append([]byte{BinaryVersion + 1}, good[1:]...)
+	trailing := append(append([]byte(nil), good...), 0x00)
+	negative := []byte{BinaryVersion}
+	negative = binary.AppendUvarint(negative, 3)
+	negative = binary.AppendUvarint(negative, 4)
+	negative = append(negative, "vm-1"...)
+	negative = binary.AppendUvarint(negative, 1)
+	for _, v := range []float64{0.01, -5, 8} {
+		negative = binary.AppendUvarint(negative, bits.ReverseBytes64(math.Float64bits(v)))
+	}
+	nan := []byte{BinaryVersion}
+	nan = binary.AppendUvarint(nan, 3)
+	nan = binary.AppendUvarint(nan, 4)
+	nan = append(nan, "vm-1"...)
+	nan = binary.AppendUvarint(nan, 1)
+	for _, v := range []float64{0.01, math.NaN(), 8} {
+		nan = binary.AppendUvarint(nan, bits.ReverseBytes64(math.Float64bits(v)))
+	}
+	badSession := []byte{BinaryVersion}
+	badSession = binary.AppendUvarint(badSession, 3)
+	badSession = binary.AppendUvarint(badSession, 4)
+	badSession = append(badSession, "a/b\n"...)
+	badSession = binary.AppendUvarint(badSession, 1)
+
+	cases := map[string][]byte{
+		"empty body":     {},
+		"version skew":   versionSkew,
+		"truncated":      good[:len(good)-1],
+		"header only":    good[:2],
+		"trailing bytes": trailing,
+		"two fields":     {BinaryVersion, 2},
+		"giant fields":   {BinaryVersion, 200},
+		"zero samples": func() []byte {
+			b := []byte{BinaryVersion}
+			b = binary.AppendUvarint(b, 3)
+			b = binary.AppendUvarint(b, 4)
+			b = append(b, "vm-1"...)
+			return binary.AppendUvarint(b, 0)
+		}(),
+		"negative counter": negative,
+		"nan counter":      nan,
+		"bad session":      badSession,
+	}
+	for name, body := range cases {
+		if _, _, err := DecodeBatchInto(nil, body); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+}
+
+func TestAppendBatchRejects(t *testing.T) {
+	ok := []Sample{{Time: 1, AccessNum: 1, MissNum: 1}}
+	if _, err := AppendBatch(nil, "", ok); err == nil {
+		t.Error("empty session accepted")
+	}
+	if _, err := AppendBatch(nil, strings.Repeat("x", 129), ok); err == nil {
+		t.Error("oversized session accepted")
+	}
+	if _, err := AppendBatch(nil, "a b", ok); err == nil {
+		t.Error("session with space accepted")
+	}
+	if _, err := AppendBatch(nil, "vm-1", nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := AppendBatch(nil, "vm-1", []Sample{{Time: math.NaN()}}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+	if _, err := AppendBatch(nil, "vm-1", []Sample{{Time: 1, AccessNum: -2, MissNum: 1}}); err == nil {
+		t.Error("negative counter accepted")
+	}
+}
+
+// TestAppendBatchLeavesPrefixOnError: a failed append must not leave a
+// half-written frame in the caller's buffer.
+func TestAppendBatchLeavesPrefixOnError(t *testing.T) {
+	buf, err := AppendBatch(nil, "vm-1", []Sample{{Time: 1, AccessNum: 2, MissNum: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(buf)
+	if buf, err = AppendBatch(buf, "vm-1", []Sample{{Time: math.Inf(1)}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if len(buf) != n {
+		t.Fatalf("buffer grew to %d on failed append, want %d", len(buf), n)
+	}
+}
+
+func TestFrameReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	batches := [][]Sample{randomBatch(rng, 10), randomBatch(rng, 1), randomBatch(rng, 333)}
+	var wire []byte
+	var err error
+	for i, b := range batches {
+		if wire, err = AppendBatch(wire, "vm-stream", b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	var dst []Sample
+	for i, want := range batches {
+		body, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		_, got, err := DecodeBatchInto(dst[:0], body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		dst = got
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: %d samples, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("frame %d sample %d: %+v != %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+
+	// EOF inside a frame is never a clean close: io.EOF is only
+	// legitimate when the stream ends exactly on a frame boundary.
+	boundary := map[int]bool{0: true}
+	for off := 0; off < len(wire); {
+		off += FramePrefixBytes + int(binary.LittleEndian.Uint32(wire[off:]))
+		boundary[off] = true
+	}
+	for cut := 1; cut < len(wire); cut += 97 {
+		fr := NewFrameReader(bytes.NewReader(wire[:cut]), 0)
+		var err error
+		for err == nil {
+			_, err = fr.Next()
+		}
+		if err == io.EOF && !boundary[cut] {
+			t.Fatalf("cut %d inside a frame returned clean io.EOF", cut)
+		}
+	}
+
+	// Oversized frame declared in the prefix is refused before buffering.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, err := NewFrameReader(bytes.NewReader(huge), 0).Next(); err == nil || err == io.EOF {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// Zero-length frame likewise.
+	if _, err := NewFrameReader(bytes.NewReader([]byte{0, 0, 0, 0}), 0).Next(); err == nil || err == io.EOF {
+		t.Fatalf("zero-length frame: %v", err)
+	}
+}
+
+// TestDecodeBatchIntoZeroAlloc pins the decode hot path at zero
+// allocations steady state (the acceptance bar for the streaming ingest
+// route): with a warm destination slice, neither DecodeBatchInto nor
+// FrameReader.Next may touch the heap.
+func TestDecodeBatchIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	batch := randomBatch(rng, 256)
+	wire, err := AppendBatch(nil, "vm-alloc", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd bytes.Reader
+	fr := NewFrameReader(&rd, 0)
+	dst := make([]Sample, 0, len(batch))
+
+	// Warm the frame buffer.
+	rd.Reset(wire)
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(wire)
+		body, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, out, err := DecodeBatchInto(dst[:0], body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(batch) {
+			t.Fatalf("decoded %d samples", len(out))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendBatchZeroAlloc: the encode side reuses the caller's buffer
+// the same way.
+func TestAppendBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	batch := randomBatch(rng, 256)
+	buf, err := AppendBatch(nil, "vm-alloc", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AppendBatch(buf[:0], "vm-alloc", batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDecodeBatchInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	batch := randomBatch(rng, 64)
+	frame, err := AppendBatch(nil, "vm-bench", batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := frame[FramePrefixBytes:]
+	dst := make([]Sample, 0, len(batch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, out, err := DecodeBatchInto(dst[:0], body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = out
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	batch := randomBatch(rng, 64)
+	buf, err := AppendBatch(nil, "vm-bench", batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = AppendBatch(buf[:0], "vm-bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"memdos/internal/pcm"
+)
+
+func ingestBodyJSON(t testing.TB, n int) []byte {
+	t.Helper()
+	samples := make([]pcm.Sample, n)
+	for i := range samples {
+		samples[i] = pcm.Sample{Time: 0.01 * float64(i+1), AccessNum: 100, MissNum: 10}
+	}
+	body, err := json.Marshal(IngestRequest{Batches: []IngestBatch{
+		{Session: "vm-1", Samples: samples},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestDecodeIngestIntoSteadyStateAllocs is the regression guard for the
+// pooled JSON decode path: once the pooled request has grown its
+// capacity, repeat decodes must cost strictly less than the
+// allocate-a-fresh-request path, and per-sample cost stays at the JSON
+// token machinery only — re-introducing a per-request batch/sample
+// slice allocation fails the comparison.
+func TestDecodeIngestIntoSteadyStateAllocs(t *testing.T) {
+	body := ingestBodyJSON(t, 128)
+	rd := bytes.NewReader(body)
+
+	req := AcquireIngestRequest()
+	defer ReleaseIngestRequest(req)
+	pooled := testing.AllocsPerRun(50, func() {
+		rd.Reset(body)
+		if err := DecodeIngestInto(req, rd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fresh := testing.AllocsPerRun(50, func() {
+		rd.Reset(body)
+		if _, err := DecodeIngest(rd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled >= fresh {
+		t.Errorf("pooled decode costs %.1f allocs/op, fresh %.1f — reuse buys nothing", pooled, fresh)
+	}
+	// Absolute ceiling: pcm.Sample's strict UnmarshalJSON costs a
+	// bounded handful of allocations per sample (its own decoder and
+	// pointer-field scratch); anything past this budget means the pooled
+	// path started allocating per-request state again.
+	if budget := 12.0*128 + 64; pooled > budget {
+		t.Errorf("pooled decode costs %.1f allocs/op, budget %.0f", pooled, budget)
+	}
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"memdos/internal/core"
+	"memdos/internal/pcm"
+)
+
+// TestDecodeIngestIntoReuse pins the stale-field hazard of recycling
+// decode buffers: encoding/json leaves struct fields absent from the
+// new document untouched, so a second decode into the same request
+// must not inherit the first request's Session, Profile or Samples.
+func TestDecodeIngestIntoReuse(t *testing.T) {
+	req := AcquireIngestRequest()
+	defer ReleaseIngestRequest(req)
+
+	first := `{"batches":[
+		{"session":"vm-a","profile":"sdsb:test","samples":[{"t":1,"access":1,"miss":1},{"t":2,"access":2,"miss":2},{"t":3,"access":3,"miss":3}]},
+		{"session":"vm-b","profile":"raw","samples":[{"t":1,"access":9,"miss":9}]}]}`
+	if err := DecodeIngestInto(req, strings.NewReader(first)); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Batches) != 2 || req.Batches[0].Profile != "sdsb:test" || len(req.Batches[0].Samples) != 3 {
+		t.Fatalf("first decode = %+v", req)
+	}
+
+	// Second request: one batch, no profile, one sample. Everything the
+	// first decode left behind must be gone.
+	second := `{"batches":[{"session":"vm-c","samples":[{"t":9,"access":7,"miss":5}]}]}`
+	if err := DecodeIngestInto(req, strings.NewReader(second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Batches) != 1 {
+		t.Fatalf("second decode kept %d batches", len(req.Batches))
+	}
+	b := req.Batches[0]
+	if b.Session != "vm-c" || b.Profile != "" {
+		t.Fatalf("stale fields leaked into second decode: %+v", b)
+	}
+	if len(b.Samples) != 1 || (b.Samples[0] != pcm.Sample{Time: 9, AccessNum: 7, MissNum: 5}) {
+		t.Fatalf("stale samples leaked into second decode: %+v", b.Samples)
+	}
+
+	// A decode error must not poison the request for the next use.
+	if err := DecodeIngestInto(req, strings.NewReader(`{"bogus"`)); err == nil {
+		t.Fatal("malformed request accepted")
+	}
+	if err := DecodeIngestInto(req, strings.NewReader(second)); err != nil {
+		t.Fatalf("decode after error: %v", err)
+	}
+	if len(req.Batches) != 1 || req.Batches[0].Session != "vm-c" {
+		t.Fatalf("decode after error = %+v", req)
+	}
+}
+
+// TestDecodeIngestIntoReusesCapacity: the whole point of the pool — a
+// second same-shaped decode must not grow fresh batch/sample arrays.
+func TestDecodeIngestIntoReusesCapacity(t *testing.T) {
+	req := AcquireIngestRequest()
+	defer ReleaseIngestRequest(req)
+	body := `{"batches":[{"session":"vm-a","samples":[{"t":1,"access":1,"miss":1},{"t":2,"access":2,"miss":2}]}]}`
+	if err := DecodeIngestInto(req, strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	firstBatch := &req.Batches[0]
+	firstSamples := &firstBatch.Samples[0]
+	if err := DecodeIngestInto(req, strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	if &req.Batches[0] != firstBatch {
+		t.Error("second decode reallocated the batch slice")
+	}
+	if &req.Batches[0].Samples[0] != firstSamples {
+		t.Error("second decode reallocated the sample slice")
+	}
+}
+
+// TestIngestCopiesBatch: Hub.Ingest's contract says the caller may
+// reuse its slice immediately. With the pooled submit path the copy
+// happens into a recycled buffer — corrupting the caller's slice right
+// after Ingest must not corrupt what the detector sees.
+func TestIngestCopiesBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Block
+	cfg.RecordDecisions = true
+	h := NewHub(cfg)
+	defer h.Close()
+	if err := h.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Open("vm-1", "raw"); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := make([]pcm.Sample, 64)
+	for round := 0; round < 50; round++ {
+		for i := range batch {
+			batch[i] = pcm.Sample{
+				Time:      float64(round*len(batch)+i+1) * 0.01,
+				AccessNum: 100,
+				MissNum:   10,
+			}
+		}
+		if _, err := h.Ingest("vm-1", batch); err != nil {
+			t.Fatal(err)
+		}
+		// Stomp the caller's slice while the batch may still be queued.
+		for i := range batch {
+			batch[i] = pcm.Sample{Time: -1, AccessNum: 1e12, MissNum: 1e12}
+		}
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	decisions := h.Decisions("vm-1")
+	// RawThreshold emits no decision for its very first sample (it needs
+	// a predecessor), so a contiguous stream yields samples-1 decisions.
+	if len(decisions) != 50*64-1 {
+		t.Fatalf("%d decisions, want %d", len(decisions), 50*64-1)
+	}
+	for i, d := range decisions {
+		// The stomped values would flip the raw-threshold detector's
+		// miss ratio to 1.0 and alarm; the real batch never alarms.
+		if d.Alarm {
+			t.Fatalf("decision %d alarmed: detector saw the stomped batch", i)
+		}
+		if want := float64(i+2) * 0.01; d.Time != want {
+			t.Fatalf("decision %d at t=%v, want %v", i, d.Time, want)
+		}
+	}
+}

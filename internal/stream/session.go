@@ -119,7 +119,7 @@ func (s *Session) enqueue(samples []pcm.Sample) (int, error) {
 		s.pending.Add(n)
 		s.qmu.Unlock()
 		s.shard.pending.Add(n)
-		s.shard.work <- work{sess: s, samples: append([]pcm.Sample(nil), samples...)}
+		s.shard.work <- work{sess: s, batch: s.hub.getBatch(samples)}
 	default: // DropNewest
 		if s.pending.Load()+n > cap64 {
 			s.drop(n)
@@ -127,9 +127,11 @@ func (s *Session) enqueue(samples []pcm.Sample) (int, error) {
 		}
 		s.pending.Add(n)
 		s.shard.pending.Add(n)
+		batch := s.hub.getBatch(samples)
 		select {
-		case s.shard.work <- work{sess: s, samples: append([]pcm.Sample(nil), samples...)}:
+		case s.shard.work <- work{sess: s, batch: batch}:
 		default:
+			s.hub.putBatch(batch)
 			s.pending.Add(-n)
 			s.shard.pending.Add(-n)
 			s.drop(n)

@@ -106,10 +106,22 @@ type DetectorFactory func() (core.Detector, error)
 // work is one unit handed to a shard: either a sample batch for a
 // session, or a flush barrier.
 type work struct {
-	sess    *Session
-	samples []pcm.Sample
-	flush   chan<- struct{}
+	sess  *Session
+	batch *batchBuf
+	flush chan<- struct{}
 }
+
+// batchBuf is a reusable copy of one ingested batch. Ingest copies the
+// caller's samples into one of these (recycled through Hub.batchPool)
+// and the shard goroutine returns it to the pool after processing, so
+// the steady-state ingest path creates no per-batch garbage.
+type batchBuf struct {
+	samples []pcm.Sample
+}
+
+// maxPooledBatch bounds the capacity a recycled buffer may keep: one
+// oversized batch must not pin megabytes in the pool forever.
+const maxPooledBatch = 1 << 14
 
 // shard is one worker goroutine plus its queue and counters.
 type shard struct {
@@ -135,6 +147,10 @@ type Hub struct {
 	closed   bool
 	closing  atomic.Bool // readable without mu, for cond waiters
 	ingestWG sync.WaitGroup
+
+	// batchPool recycles batchBuf copies between Ingest and the shard
+	// goroutines (sync.Pool: safe without mu).
+	batchPool sync.Pool
 
 	samplesIngested   metrics.Counter
 	samplesDropped    metrics.Counter
@@ -327,6 +343,25 @@ func (h *Hub) Close() error {
 	return nil
 }
 
+// getBatch copies samples into a pooled buffer.
+func (h *Hub) getBatch(samples []pcm.Sample) *batchBuf {
+	b, _ := h.batchPool.Get().(*batchBuf)
+	if b == nil {
+		b = new(batchBuf)
+	}
+	b.samples = append(b.samples[:0], samples...)
+	return b
+}
+
+// putBatch recycles a processed buffer, dropping outliers so one giant
+// batch cannot pin its capacity in the pool.
+func (h *Hub) putBatch(b *batchBuf) {
+	if cap(b.samples) > maxPooledBatch {
+		return
+	}
+	h.batchPool.Put(b)
+}
+
 // runShard is the single writer for every session pinned to sh.
 func (h *Hub) runShard(sh *shard) {
 	defer close(sh.done)
@@ -336,10 +371,11 @@ func (h *Hub) runShard(sh *shard) {
 			continue
 		}
 		start := time.Now()
-		w.sess.process(w.samples)
+		w.sess.process(w.batch.samples)
 		sh.busyNanos.Add(time.Since(start).Nanoseconds())
 		sh.batches.Add(1)
-		n := int64(len(w.samples))
+		n := int64(len(w.batch.samples))
+		h.putBatch(w.batch)
 		sh.pending.Add(-n)
 		w.sess.finishBatch(n)
 	}

@@ -28,6 +28,7 @@ import (
 	"memdos/internal/cluster"
 	"memdos/internal/container"
 	"memdos/internal/core"
+	"memdos/internal/daemon"
 	"memdos/internal/dnn"
 	"memdos/internal/experiments"
 	"memdos/internal/mem"
@@ -162,7 +163,43 @@ var (
 	DefaultStreamConfig = stream.DefaultConfig
 	// DecodeIngest parses and validates a JSON ingest request body.
 	DecodeIngest = stream.DecodeIngest
+	// AcquireIngestRequest returns a pooled request for DecodeIngestInto.
+	AcquireIngestRequest = stream.AcquireIngestRequest
+	// DecodeIngestInto parses an ingest body into a reused request.
+	DecodeIngestInto = stream.DecodeIngestInto
+	// ReleaseIngestRequest recycles a request from AcquireIngestRequest.
+	ReleaseIngestRequest = stream.ReleaseIngestRequest
 )
+
+// Fleet-scale binary ingest wire format (pcm frames carried by
+// POST /v1/ingest/stream; see DESIGN.md §7b).
+var (
+	// AppendBatch encodes one session's batch as a length-prefixed
+	// binary frame appended to dst.
+	AppendBatch = pcm.AppendBatch
+	// DecodeBatchInto decodes one frame body into a reused sample slice
+	// with zero allocations.
+	DecodeBatchInto = pcm.DecodeBatchInto
+	// NewFrameReader reads length-prefixed frames off a stream into one
+	// reused buffer.
+	NewFrameReader = pcm.NewFrameReader
+	// ReadGCStats snapshots the runtime's GC pause/cycle counters.
+	ReadGCStats = metrics.ReadGCStats
+)
+
+// FrameReader reads length-prefixed binary ingest frames.
+type FrameReader = pcm.FrameReader
+
+// GCStats is a snapshot of the runtime's GC accounting.
+type GCStats = metrics.GCStats
+
+// NewDaemonServer assembles memdosd's HTTP serving layer (JSON +
+// binary-streaming ingest, session API, metrics) around a hub and an
+// optional mitigation engine.
+var NewDaemonServer = daemon.New
+
+// DaemonServer is memdosd's HTTP serving layer.
+type DaemonServer = daemon.Server
 
 // Closed-loop mitigation (internal/respond): the policy engine that
 // turns stream alarms into graduated, reversible hypervisor actions.
