@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"memdos/internal/analysis"
 	"memdos/internal/attack"
 	"memdos/internal/bus"
 	"memdos/internal/cache"
@@ -187,6 +188,7 @@ var microBenches = []struct {
 	{"dnn/infer", benchDNNInfer},
 	{"ingest/decode-batch", benchDecodeBatch},
 	{"ingest/stream", benchIngestStream},
+	{"analysis/vet-repo", benchVetRepo},
 }
 
 // measure runs one micro-benchmark benchReps times and keeps the fastest
@@ -420,6 +422,26 @@ func benchIngestStream(b *testing.B) {
 		srv.ServeHTTP(w, req)
 		if w.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+// benchVetRepo times one full memdos-vet pass over the module: loading
+// every package through go list export data and running the complete
+// checker suite (including the v2 hotalloc/golife/benchpin checkers and
+// the stale-suppression audit). CI pays this cost on every run, so the
+// gate keeps it in the ~1 s budget; it must be run from the module root,
+// like the rest of the bench subcommand.
+func benchVetRepo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.Load("", "memdos/...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := analysis.Run(pkgs, analysis.Checkers())
+		if len(res.Findings) != 0 || len(res.Stale) != 0 {
+			b.Fatalf("repo not vet-clean: %d findings, %d stale suppressions", len(res.Findings), len(res.Stale))
 		}
 	}
 }

@@ -82,6 +82,9 @@ func Checkers() []*Checker {
 		FloatEqChecker(),
 		MetricNameChecker(),
 		LockCopyChecker(),
+		HotAllocChecker(),
+		GoLifeChecker(),
+		BenchPinChecker(),
 	}
 }
 
@@ -128,12 +131,36 @@ type Result struct {
 	// Suppressed are diagnostics neutralized by //memdos:ignore comments,
 	// kept for auditing.
 	Suppressed []Diagnostic
+	// Stale are //memdos:ignore entries that suppressed nothing: entries
+	// naming a checker that ran yet matched no diagnostic, or naming no
+	// known checker at all. A suppression that outlives its finding is a
+	// contract hole — memdos-vet reports it with exit status 2.
+	Stale []Diagnostic
 }
+
+// StaleCheck is the pseudo-check name stale-suppression diagnostics are
+// reported under. It is not selectable and cannot itself be ignored.
+const StaleCheck = "staleignore"
 
 // Run applies every checker to every package, resolves suppressions and
 // returns position-sorted results. The output is deterministic for a
 // given input regardless of checker-internal iteration order.
+//
+// After the checkers finish, every //memdos:ignore entry is audited:
+// an entry for a checker that ran but suppressed nothing is stale (the
+// finding it once justified is gone — delete the comment), and an entry
+// naming no known checker is stale outright (it can never suppress
+// anything). Entries for known checkers that did not run are left alone,
+// so partial -checks runs never misreport live suppressions.
 func Run(pkgs []*Package, checks []*Checker) Result {
+	known := make(map[string]bool)
+	for _, c := range Checkers() {
+		known[c.Name] = true
+	}
+	selected := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		selected[c.Name] = true
+	}
 	var res Result
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
@@ -148,9 +175,11 @@ func Run(pkgs []*Package, checks []*Checker) Result {
 			}
 			c.Run(pass)
 		}
+		res.Stale = append(res.Stale, ignores.stale(selected, known)...)
 	}
 	sortDiags(res.Findings)
 	sortDiags(res.Suppressed)
+	sortDiags(res.Stale)
 	return res
 }
 
@@ -176,26 +205,72 @@ func sortDiags(ds []Diagnostic) {
 // IgnoreDirective is the comment prefix that suppresses findings.
 const IgnoreDirective = "//memdos:ignore"
 
-// ignoreIndex maps file -> line -> set of suppressed check names. An
-// ignore comment covers its own line and the line directly below it, so
-// it can trail the flagged statement or sit on its own line above.
-type ignoreIndex map[string]map[int]map[string]bool
+// ignoreEntry is one check name of one //memdos:ignore comment, with a
+// usage bit so entries that suppress nothing can be reported stale.
+type ignoreEntry struct {
+	check string
+	file  string
+	line  int
+	col   int
+	used  bool
+}
 
-func (ix ignoreIndex) covers(d Diagnostic) bool {
-	lines := ix[d.File]
+// ignoreIndex maps file -> line -> the ignore entries anchored there. A
+// comment covers its own line and the line directly below it, so it can
+// trail the flagged statement or sit on its own line above.
+type ignoreIndex struct {
+	byLine  map[string]map[int][]*ignoreEntry
+	entries []*ignoreEntry // in source order, for the stale audit
+}
+
+func (ix *ignoreIndex) covers(d Diagnostic) bool {
+	lines := ix.byLine[d.File]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, ln := range [2]int{d.Line, d.Line - 1} {
-		if lines[ln][d.Check] {
-			return true
+		for _, e := range lines[ln] {
+			if e.check == d.Check {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
-func collectIgnores(pkg *Package) ignoreIndex {
-	ix := make(ignoreIndex)
+// stale returns diagnostics for entries that suppressed nothing: entries
+// whose check ran (selected) yet matched no diagnostic, and entries
+// naming no known checker at all.
+func (ix *ignoreIndex) stale(selected, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ix.entries {
+		if e.used {
+			continue
+		}
+		var msg string
+		switch {
+		case !known[e.check]:
+			msg = fmt.Sprintf("suppression names unknown check %q; it can never suppress anything — fix or delete it", e.check)
+		case selected[e.check]:
+			msg = fmt.Sprintf("suppression for %s matches no finding; the justified code is gone — delete the comment", e.check)
+		default:
+			continue // the named checker did not run; cannot judge
+		}
+		out = append(out, Diagnostic{
+			Check:   StaleCheck,
+			File:    e.file,
+			Line:    e.line,
+			Col:     e.col,
+			Message: msg,
+		})
+	}
+	return out
+}
+
+func collectIgnores(pkg *Package) *ignoreIndex {
+	ix := &ignoreIndex{byLine: make(map[string]map[int][]*ignoreEntry)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -208,18 +283,20 @@ func collectIgnores(pkg *Package) ignoreIndex {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := ix[pos.Filename]
+				lines := ix.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					ix[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
+					lines = make(map[int][]*ignoreEntry)
+					ix.byLine[pos.Filename] = lines
 				}
 				for _, check := range strings.Split(fields[0], ",") {
-					set[strings.TrimSpace(check)] = true
+					e := &ignoreEntry{
+						check: strings.TrimSpace(check),
+						file:  pos.Filename,
+						line:  pos.Line,
+						col:   pos.Column,
+					}
+					lines[pos.Line] = append(lines[pos.Line], e)
+					ix.entries = append(ix.entries, e)
 				}
 			}
 		}

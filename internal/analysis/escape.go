@@ -1,0 +1,79 @@
+package analysis
+
+// The escape-analysis cross-check: hotalloc's AST heuristics decide
+// "this construct allocates" syntactically, the compiler decides it for
+// real. This file shells out to `go build -gcflags=-m=2` and parses the
+// escape-analysis diagnostics, so a build-tag-gated test (escape_test.go)
+// can diff the two views over the golden corpus — if the compiler sees a
+// heap allocation on a hot line that hotalloc considers clean (or vice
+// versa on the constructs hotalloc claims always allocate), the test
+// fails and the heuristics get fixed instead of silently rotting.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeSite is one compiler-reported heap allocation or heap move.
+type EscapeSite struct {
+	// File is the absolute path of the reporting position.
+	File string
+	// Line and Col anchor the allocation.
+	Line, Col int
+	// Message is the compiler's diagnostic text (e.g. "make([]int, n)
+	// escapes to heap").
+	Message string
+}
+
+// escapeLineRE matches `path:line:col: message` diagnostics.
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// EscapeSites compiles the packages matched by patterns (resolved in
+// dir; "" = cwd) with -gcflags=-m=2 and returns every "escapes to heap"
+// / "moved to heap" site. The go tool caches compile diagnostics along
+// with the artifact and replays them on cached builds, so repeated runs
+// see the same output; -gcflags without a pattern prefix applies only to
+// the packages named on the command line, keeping dependency noise out.
+func EscapeSites(dir string, patterns ...string) ([]EscapeSite, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("analysis: EscapeSites needs package patterns")
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var sites []EscapeSite
+	sc := bufio.NewScanner(&stderr)
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			base := dir
+			if base == "" {
+				base = "."
+			}
+			file = filepath.Join(base, file)
+		}
+		sites = append(sites, EscapeSite{File: file, Line: line, Col: col, Message: msg})
+	}
+	return sites, nil
+}

@@ -1,0 +1,78 @@
+//go:build escapecheck
+
+package analysis
+
+// The escapecheck cross-check (run via `go test -tags escapecheck`):
+// hotalloc's syntactic "this allocates" verdicts and the compiler's
+// -gcflags=-m=2 escape analysis must agree line-for-line on the
+// testdata/escape corpus. The corpus only contains constructs both
+// views can see (everything escapes into package-level sinks), so the
+// comparison runs in both directions: a compiler-reported heap
+// allocation on a line hotalloc considers clean is a false negative in
+// the checker; a hotalloc finding on a line the compiler proves
+// allocation-free is a false positive. Either direction failing means
+// the heuristics drifted from the real allocator and need fixing.
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestHotAllocAgreesWithEscapeAnalysis(t *testing.T) {
+	pkgs, err := Load("", "memdos/internal/analysis/testdata/escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	res := Run(pkgs, []*Checker{HotAllocChecker()})
+	static := make(map[int]string)
+	for _, d := range res.Findings {
+		if filepath.Base(d.File) != "escape.go" {
+			t.Fatalf("finding outside the corpus: %s", d)
+		}
+		static[d.Line] = d.Message
+	}
+	for _, d := range res.Suppressed {
+		static[d.Line] = d.Message
+	}
+
+	sites, err := EscapeSites("", "memdos/internal/analysis/testdata/escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiler := make(map[int]string)
+	for _, s := range sites {
+		if filepath.Base(s.File) != "escape.go" {
+			continue
+		}
+		compiler[s.Line] = s.Message
+	}
+	if len(compiler) == 0 {
+		t.Fatal("compiler reported no escape sites; the -m=2 harness is broken")
+	}
+
+	for _, line := range sortedKeys(compiler) {
+		if _, ok := static[line]; !ok {
+			t.Errorf("escape.go:%d: compiler sees a heap allocation (%s) but hotalloc reports nothing — false negative",
+				line, compiler[line])
+		}
+	}
+	for _, line := range sortedKeys(static) {
+		if _, ok := compiler[line]; !ok {
+			t.Errorf("escape.go:%d: hotalloc reports %q but the compiler proves the line allocation-free — false positive",
+				line, static[line])
+		}
+	}
+}
+
+func sortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

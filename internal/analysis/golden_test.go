@@ -10,23 +10,44 @@ import (
 	"memdos/internal/analysis"
 )
 
+// goldenPackages pairs each testdata corpus with the -checks selection
+// its markers were written against ("" = the full default suite). The
+// staleignore corpus runs the full suite because the stale audit is not
+// a selectable checker — it rides along with every run.
+var goldenPackages = []struct {
+	dir    string
+	checks string
+}{
+	{"determinism", "determinism"},
+	{"maporder", "maporder"},
+	{"floateq", "floateq"},
+	{"metricname", "metricname"},
+	{"lockcopy", "lockcopy"},
+	{"hotalloc", "hotalloc"},
+	{"golife", "golife"},
+	{"benchpin", "benchpin"},
+	{"staleignore", ""},
+}
+
 // TestGolden diffs each checker's output over its golden package in
-// testdata/ against the // want (active finding) and // wantsup
-// (suppressed finding) markers in the sources. Every marker must be
-// hit exactly once and every diagnostic must be expected, so both
-// false negatives and false positives fail, and suppression behavior
-// (same-line and line-above //memdos:ignore forms) is pinned.
+// testdata/ against the // want (active finding), // wantsup
+// (suppressed finding) and // wantstale (stale-suppression audit)
+// markers in the sources. Every marker must be hit exactly once and
+// every diagnostic must be expected, so both false negatives and false
+// positives fail, and suppression behavior (same-line and line-above
+// //memdos:ignore forms) is pinned. Corpora without wantstale markers
+// implicitly assert a clean stale audit.
 func TestGolden(t *testing.T) {
-	for _, check := range []string{"determinism", "maporder", "floateq", "metricname", "lockcopy"} {
-		t.Run(check, func(t *testing.T) {
-			pkgs, err := analysis.Load("", "memdos/internal/analysis/testdata/"+check)
+	for _, g := range goldenPackages {
+		t.Run(g.dir, func(t *testing.T) {
+			pkgs, err := analysis.Load("", "memdos/internal/analysis/testdata/"+g.dir)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(pkgs) != 1 {
 				t.Fatalf("loaded %d packages, want 1", len(pkgs))
 			}
-			checks, err := analysis.Select(check)
+			checks, err := analysis.Select(g.checks)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,6 +59,7 @@ func TestGolden(t *testing.T) {
 			}
 			matchDiagnostics(t, "finding", res.Findings, exps["want"])
 			matchDiagnostics(t, "suppressed finding", res.Suppressed, exps["wantsup"])
+			matchDiagnostics(t, "stale suppression", res.Stale, exps["wantstale"])
 		})
 	}
 }
@@ -47,14 +69,29 @@ func TestGolden(t *testing.T) {
 // least one active finding — i.e. exit nonzero — on every golden
 // package.
 func TestTestdataFailsFullSuite(t *testing.T) {
-	for _, check := range []string{"determinism", "maporder", "floateq", "metricname", "lockcopy"} {
-		pkgs, err := analysis.Load("", "memdos/internal/analysis/testdata/"+check)
+	for _, g := range goldenPackages {
+		pkgs, err := analysis.Load("", "memdos/internal/analysis/testdata/"+g.dir)
 		if err != nil {
 			t.Fatal(err)
 		}
 		res := analysis.Run(pkgs, analysis.Checkers())
 		if len(res.Findings) == 0 {
-			t.Errorf("testdata/%s: full suite reports no findings; memdos-vet would exit 0", check)
+			t.Errorf("testdata/%s: full suite reports no findings; memdos-vet would exit 0", g.dir)
+		}
+	}
+}
+
+// TestSelectUnknownName pins the -checks typo experience: the error must
+// name the bad check and list every valid one, including the v2
+// checkers, so the user never has to guess at spellings.
+func TestSelectUnknownName(t *testing.T) {
+	_, err := analysis.Select("hotalloc,floateqq")
+	if err == nil {
+		t.Fatal("Select accepted an unknown check name")
+	}
+	for _, frag := range []string{`"floateqq"`, "determinism", "maporder", "floateq", "metricname", "lockcopy", "hotalloc", "golife", "benchpin"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Select error %q does not mention %s", err, frag)
 		}
 	}
 }
@@ -71,12 +108,15 @@ func TestRepoClean(t *testing.T) {
 	for _, d := range res.Findings {
 		t.Errorf("unexpected finding: %s", d)
 	}
+	for _, d := range res.Stale {
+		t.Errorf("stale suppression: %s", d)
+	}
 	if len(res.Suppressed) == 0 {
 		t.Error("expected justified suppressions in the repo, found none (did suppression matching break?)")
 	}
 }
 
-// expectation is one parsed // want or // wantsup marker.
+// expectation is one parsed // want, // wantsup or // wantstale marker.
 type expectation struct {
 	file    string // base name
 	line    int
@@ -84,13 +124,13 @@ type expectation struct {
 	matched bool
 }
 
-var markerRE = regexp.MustCompile("// (want|wantsup) `([^`]+)`")
+var markerRE = regexp.MustCompile("// (want|wantsup|wantstale) `([^`]+)`")
 
 // parseExpectations scans every .go file in dir for markers, keyed by
 // marker kind.
 func parseExpectations(t *testing.T, dir string) map[string][]*expectation {
 	t.Helper()
-	exps := map[string][]*expectation{"want": nil, "wantsup": nil}
+	exps := map[string][]*expectation{"want": nil, "wantsup": nil, "wantstale": nil}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)

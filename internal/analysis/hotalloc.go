@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocChecker enforces the zero-allocation steady-state contract on
+// functions annotated //memdos:hotpath and every same-package function
+// they reach through static calls. It flags the constructs that heap-
+// allocate (or conditionally heap-allocate) in compiled code:
+//
+//   - make and new
+//   - map, slice and pointer-to-composite literals
+//   - function literals (closure environments escape)
+//   - append whose result lands in a different variable than its source
+//     (self-appends x = append(x, ...) are the amortized caller-managed
+//     growth idiom and stay legal; a diverging append is a fresh backing
+//     array or an aliasing bug)
+//   - fmt.* calls and string concatenation / string<->[]byte conversions
+//   - interface boxing of non-pointer-shaped values (call arguments,
+//     assignments and returns where a concrete value meets an interface)
+//   - method values (x.M used as a value allocates a bound closure)
+//
+// Error and panic exits are exempt: any construct inside a panic(...)
+// argument or inside an expression that produces an error value is a
+// cold path by definition — the contract is about the steady state the
+// zero-alloc benchmarks measure, and misconfiguration exits may spend
+// freely. Amortized warm-up allocations (grow-once tables, pooled-buffer
+// misses) are expected to carry a //memdos:ignore hotalloc suppression
+// whose justification names the amortization argument.
+//
+// The companion escape-analysis harness (escape.go, run under the
+// escapecheck build tag) cross-checks these AST heuristics against the
+// compiler's own -gcflags=-m=2 output on the golden corpus, so the two
+// views of "allocates" cannot drift apart silently.
+func HotAllocChecker() *Checker {
+	return &Checker{
+		Name: "hotalloc",
+		Doc:  "flag heap-allocating constructs in //memdos:hotpath functions and their callees",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, hf := range hotFuncs(pass.Pkg) {
+		checkHotBody(pass, hf)
+	}
+}
+
+// where renders the function context for a diagnostic.
+func where(hf *HotFunc) string {
+	if hf.Annotated {
+		return fmt.Sprintf("in hotpath %s", hf.Name)
+	}
+	return fmt.Sprintf("in %s (reached from hotpath %s)", hf.Name, hf.Root)
+}
+
+// checkHotBody walks one hot function's body with an explicit parent
+// stack, maintaining a cold-exit depth under which findings are muted.
+func checkHotBody(pass *Pass, hf *HotFunc) {
+	info := pass.Pkg.Info
+	var stack []ast.Node
+	cold := 0 // >0 while inside a panic argument or error construction
+
+	var coldEntry func(n ast.Node) bool
+	coldEntry = func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		// A call that produces an error value is error construction or
+		// propagation: a cold exit.
+		if tv, ok := info.Types[call]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			return true
+		}
+		return false
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if coldEntry(top) {
+				cold--
+			}
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		entering := coldEntry(n)
+		if entering {
+			cold++
+		}
+		stack = append(stack, n)
+		if cold > 0 && !entering {
+			return true // muted, but keep walking to balance the stack
+		}
+
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, hf, n, cold > 0)
+		case *ast.CompositeLit:
+			if cold == 0 {
+				checkHotCompositeLit(pass, hf, n, parent)
+			}
+		case *ast.FuncLit:
+			if cold == 0 {
+				pass.Reportf(n.Pos(), "function literal allocates its closure %s", where(hf))
+			}
+		case *ast.BinaryExpr:
+			if cold == 0 && n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				pass.Reportf(n.OpPos, "string concatenation allocates %s; build into a reused []byte", where(hf))
+			}
+		case *ast.AssignStmt:
+			if cold == 0 {
+				checkHotAssign(pass, hf, n)
+			}
+		case *ast.ReturnStmt:
+			if cold == 0 {
+				checkHotReturn(pass, hf, n)
+			}
+		case *ast.SelectorExpr:
+			if cold == 0 {
+				checkMethodValue(pass, hf, n, parent)
+			}
+		}
+		return true
+	}
+	ast.Inspect(hf.Decl.Body, visit)
+}
+
+// checkHotCall handles builtin allocators, fmt calls, allocating
+// conversions and interface boxing of arguments. Builtins and boxing are
+// still muted on cold paths; the call is inspected here (rather than in
+// visit) so argument classification happens once.
+func checkHotCall(pass *Pass, hf *HotFunc, call *ast.CallExpr, muted bool) {
+	if muted {
+		return
+	}
+	info := pass.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates %s; hoist it to setup or a reused buffer", where(hf))
+				return
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates %s; hoist it to setup or a reused buffer", where(hf))
+				return
+			case "append":
+				// Bare append whose result is unused or flows into
+				// neither a self-assignment nor a return is handled at
+				// the assignment; nothing to do for the call itself.
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := calleeObject(info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates %s; format off the hot path", obj.Name(), where(hf))
+			return
+		}
+	}
+
+	// Allocating conversions: string(bytes), []byte(s), []rune(s).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if convAllocates(to, from) {
+			pass.Reportf(call.Pos(), "conversion %s -> %s copies its data %s",
+				typeString(from), typeString(to), where(hf))
+		}
+		return
+	}
+
+	// Interface boxing of arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if at := info.TypeOf(arg); boxes(info, arg, at) {
+			pass.Reportf(arg.Pos(), "passing %s boxes a %s into an interface %s",
+				exprString(arg), typeString(at), where(hf))
+		}
+	}
+}
+
+func checkHotCompositeLit(pass *Pass, hf *HotFunc, lit *ast.CompositeLit, parent ast.Node) {
+	t := pass.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates its backing array %s", where(hf))
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates %s", where(hf))
+	default:
+		// Struct/array literals are values; they only allocate when the
+		// address is taken.
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == lit {
+			pass.Reportf(u.Pos(), "&%s literal allocates %s", typeString(t), where(hf))
+		}
+	}
+}
+
+// checkHotAssign flags appends that diverge from their source slice and
+// interface boxing through assignment.
+func checkHotAssign(pass *Pass, hf *HotFunc, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lhs := as.Lhs[i]
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinNamed(info, call, "append") && len(call.Args) > 0 {
+			if !sameSliceTarget(lhs, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"append result lands in %s but grows %s %s; a diverging append allocates (or aliases) — append in place",
+					exprString(lhs), exprString(call.Args[0]), where(hf))
+			}
+			continue
+		}
+		if isBlank(lhs) {
+			continue
+		}
+		if lt := info.TypeOf(lhs); lt != nil && types.IsInterface(lt) {
+			if rt := info.TypeOf(rhs); boxes(info, rhs, rt) {
+				pass.Reportf(rhs.Pos(), "assigning %s boxes a %s into an interface %s",
+					exprString(rhs), typeString(rt), where(hf))
+			}
+		}
+	}
+}
+
+func checkHotReturn(pass *Pass, hf *HotFunc, ret *ast.ReturnStmt) {
+	info := pass.Pkg.Info
+	ft := hf.Decl.Type
+	if ft.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	// Expand the flat result-type list (a result field may declare
+	// several names of one type).
+	var resTypes []types.Type
+	for _, field := range ft.Results.List {
+		n := max(len(field.Names), 1)
+		t := info.TypeOf(field.Type)
+		for k := 0; k < n; k++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(resTypes) != len(ret.Results) {
+		return // naked or tuple-forwarding return
+	}
+	for i, res := range ret.Results {
+		rt := resTypes[i]
+		if rt == nil || !types.IsInterface(rt) || isErrorType(rt) {
+			continue // error results are the cold exit, exempt by design
+		}
+		if at := info.TypeOf(res); boxes(info, res, at) {
+			pass.Reportf(res.Pos(), "returning %s boxes a %s into an interface %s",
+				exprString(res), typeString(at), where(hf))
+		}
+	}
+}
+
+// checkMethodValue flags x.M used as a value (not called): the bound
+// method allocates its receiver closure.
+func checkMethodValue(pass *Pass, hf *HotFunc, sel *ast.SelectorExpr, parent ast.Node) {
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if call, ok := parent.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+		return // ordinary method call
+	}
+	pass.Reportf(sel.Sel.Pos(), "method value %s allocates a bound closure %s; call it directly or use a method expression",
+		exprString(sel), where(hf))
+}
+
+// ---- classification helpers ----
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// convAllocates reports whether converting from -> to copies data.
+func convAllocates(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if isStringType(to) && isByteOrRuneSlice(from) {
+		return true
+	}
+	if isByteOrRuneSlice(to) && isStringType(from) {
+		return true
+	}
+	return false
+}
+
+// callSignature resolves the signature a call applies, nil for builtins
+// and conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType maps argument index i to its parameter type, expanding the
+// variadic tail. Calls with a ... spread pass the slice through without
+// boxing, so they return nil for the spread argument.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if sig.Variadic() {
+		if call.Ellipsis.IsValid() {
+			return nil
+		}
+		if i >= params.Len()-1 {
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.Underlying().(*types.Slice); ok {
+				return s.Elem()
+			}
+			return nil
+		}
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// boxes reports whether storing e (of type t) in an interface allocates:
+// true for non-pointer-shaped concrete values. Pointers, channels, maps,
+// funcs and unsafe pointers are single words stored directly; nil and
+// existing interface values never re-box.
+func boxes(info *types.Info, e ast.Expr, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Tuple:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UnsafePointer || b.Kind() == types.Invalid || b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// isBuiltinNamed reports whether call invokes the named builtin.
+func isBuiltinNamed(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sameSliceTarget reports whether the append destination lhs names the
+// same slice as the append source src, treating re-slices of the target
+// (x = append(x[:0], ...), x = append(x[:n], ...)) as self-appends.
+func sameSliceTarget(lhs, src ast.Expr) bool {
+	src = ast.Unparen(src)
+	if sl, ok := src.(*ast.SliceExpr); ok {
+		src = sl.X
+	}
+	return exprString(ast.Unparen(lhs)) == exprString(src)
+}
+
+// exprString renders a (short) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -15,6 +15,9 @@ type Report struct {
 	// Suppressed are diagnostics neutralized by //memdos:ignore
 	// comments, surfaced so suppressions stay auditable.
 	Suppressed []Diagnostic `json:"suppressed"`
+	// Stale are //memdos:ignore entries that suppressed nothing (check
+	// "staleignore"); a non-empty list means exit 2.
+	Stale []Diagnostic `json:"stale"`
 }
 
 // NewReport assembles the JSON document for one run.
@@ -25,12 +28,16 @@ func NewReport(pkgs []*Package, checks []*Checker, res Result) Report {
 		Packages:   len(pkgs),
 		Findings:   res.Findings,
 		Suppressed: res.Suppressed,
+		Stale:      res.Stale,
 	}
 	if r.Findings == nil {
 		r.Findings = []Diagnostic{}
 	}
 	if r.Suppressed == nil {
 		r.Suppressed = []Diagnostic{}
+	}
+	if r.Stale == nil {
+		r.Stale = []Diagnostic{}
 	}
 	return r
 }

@@ -27,13 +27,16 @@ func TestReportSchema(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"version", "checks", "packages", "findings", "suppressed"} {
+	for _, key := range []string{"version", "checks", "packages", "findings", "suppressed", "stale"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report JSON missing %q key; got keys %v", key, keys(doc))
 		}
 	}
 	if string(doc["suppressed"]) != "[]" {
 		t.Errorf("empty suppressed list marshals as %s, want []", doc["suppressed"])
+	}
+	if string(doc["stale"]) != "[]" {
+		t.Errorf("empty stale list marshals as %s, want []", doc["stale"])
 	}
 
 	var version string
@@ -48,7 +51,7 @@ func TestReportSchema(t *testing.T) {
 	if err := json.Unmarshal(doc["checks"], &checks); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"determinism", "maporder", "floateq", "metricname", "lockcopy"}
+	want := []string{"determinism", "maporder", "floateq", "metricname", "lockcopy", "hotalloc", "golife", "benchpin"}
 	if len(checks) != len(want) {
 		t.Fatalf("checks = %v, want %v", checks, want)
 	}

@@ -1,0 +1,51 @@
+// Package benchpin is golden-file input for the benchpin check: every
+// annotated //memdos:hotpath function needs a pin that would catch an
+// allocation creeping in — a testing.AllocsPerRun test in the package
+// or a bench=<name> entry resolved against the nearest
+// BENCH_baseline.json (a local one sits in this directory so the corpus
+// is self-contained).
+package benchpin
+
+// Unpinned carries the contract but nothing enforces it.
+//
+//memdos:hotpath
+func Unpinned(xs []float64) float64 { // want `hotpath Unpinned has no zero-alloc pin: no testing\.AllocsPerRun test in the package references it and the directive names no bench= gate entry`
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// BadGate names a gate entry the baseline does not have.
+//
+//memdos:hotpath bench=demo/missing
+func BadGate() int { // want `hotpath BadGate pins bench=demo/missing, which is not a BENCH_baseline\.json entry \(have demo/covered\)`
+	return 1
+}
+
+// Gated is pinned by the demo/covered allocs/op gate entry.
+//
+//memdos:hotpath bench=demo/covered
+func Gated() int {
+	return 2
+}
+
+// Tested is pinned by the AllocsPerRun test in benchpin_test.go.
+//
+//memdos:hotpath
+func Tested(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// Waived documents why no pin exists; the justification keeps it
+// auditable.
+//
+//memdos:hotpath
+func Waived() int { //memdos:ignore benchpin exercised end-to-end by the daemon soak harness, which asserts zero steady-state allocations // wantsup `hotpath Waived has no zero-alloc pin`
+	return 3
+}

@@ -1,0 +1,12 @@
+package benchpin
+
+import "testing"
+
+// TestTestedZeroAlloc is the zero-alloc pin for Tested: benchpin sees
+// the AllocsPerRun call and the reference by name.
+func TestTestedZeroAlloc(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if n := testing.AllocsPerRun(100, func() { _ = Tested(xs) }); n != 0 {
+		t.Fatalf("Tested allocates %v/op", n)
+	}
+}

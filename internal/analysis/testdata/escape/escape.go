@@ -1,0 +1,40 @@
+// Package escape is the corpus for the escapecheck build-tag test: a
+// set of constructs where hotalloc's syntactic verdict and the
+// compiler's -gcflags=-m=2 escape analysis must agree line-for-line.
+// Every construct here definitely heap-allocates (the results land in
+// package-level sinks, so nothing can be proven stack-local), and the
+// file deliberately avoids the constructs only one of the two views can
+// see (string concatenation, append growth, cold error paths).
+package escape
+
+type box struct {
+	vals []float64
+	n    int
+}
+
+var (
+	sinkAny    any
+	sinkFloats []float64
+	sinkBox    *box
+	sinkFn     func() int
+	sinkString string
+)
+
+// Definite heap-allocates on every line of its body.
+//
+//memdos:hotpath
+func Definite(n int, b *box) {
+	sinkFloats = make([]float64, n)
+	sinkAny = n
+	sinkBox = &box{n: n}
+	sinkFn = b.length
+}
+
+func (b *box) length() int { return b.n }
+
+// Convert exercises the allocating string conversion.
+//
+//memdos:hotpath
+func Convert(bs []byte) {
+	sinkString = string(bs)
+}

@@ -1,0 +1,127 @@
+// Package golife is golden-file input for the golife check: every
+// spawned goroutine must be stoppable, teardown paths must not block
+// forever, WaitGroup.Add must precede the go statement, and goroutines
+// must not capture loop variables the loop clause assigns.
+package golife
+
+import "sync"
+
+type pump struct {
+	work chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Leak spawns a goroutine nothing can ever stop.
+func (p *pump) Leak() {
+	go func() { // want `goroutine loops forever with no shutdown path`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// spin loops forever; only a blocking send, which is not a shutdown
+// observation, sits in the loop.
+func (p *pump) spin() {
+	for {
+		p.work <- 1
+	}
+}
+
+// LeakNamed spawns a named same-package function with the same defect.
+func (p *pump) LeakNamed() {
+	go p.spin() // want `goroutine pump\.spin loops forever with no shutdown path`
+}
+
+// Run is clean: the select observes the done channel.
+func (p *pump) Run() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case v := <-p.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RunRange is clean: a channel range ends when the channel closes.
+func (p *pump) RunRange() {
+	go func() {
+		for v := range p.work {
+			_ = v
+		}
+	}()
+}
+
+// Close has the blocking-teardown defect: if the worker already exited,
+// this send never completes.
+func (p *pump) Close() {
+	p.work <- 0 // want `channel send in shutdown path Close blocks forever`
+	close(p.done)
+}
+
+// Stop is clean: the default clause gives the send an escape hatch.
+func (p *pump) Stop() {
+	select {
+	case p.work <- 0:
+	default:
+	}
+	close(p.done)
+}
+
+// Spawn has the Add/Wait race: by the time the goroutine runs Add, Wait
+// may already have returned.
+func (p *pump) Spawn() {
+	go func() {
+		p.wg.Add(1) // want `WaitGroup\.Add inside the spawned goroutine races Wait`
+		defer p.wg.Done()
+		<-p.done
+	}()
+	p.wg.Wait()
+}
+
+// Broadcast captures a range variable the loop clause assigns rather
+// than declares — one shared cell across iterations in every Go version.
+func (p *pump) Broadcast(keys []int) {
+	var k int
+	for _, k = range keys {
+		go func() {
+			p.work <- k // want `goroutine captures loop variable k`
+		}()
+	}
+}
+
+// Index has the same defect through a 3-clause loop mutating a variable
+// declared outside it.
+func (p *pump) Index(n int) {
+	var i int
+	for i = 0; i < n; i++ {
+		go func() {
+			p.work <- i // want `goroutine captures loop variable i`
+		}()
+	}
+}
+
+// IndexFresh is clean: := loop variables are per-iteration (Go >= 1.22).
+func (p *pump) IndexFresh(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			p.work <- i
+		}()
+	}
+}
+
+// Forever documents a process-lifetime goroutine with the sanctioned
+// justification.
+func (p *pump) Forever() {
+	go func() { //memdos:ignore golife process-lifetime metronome by design, reaped only at exit // wantsup `goroutine loops forever with no shutdown path`
+		for {
+			p.work <- 1
+		}
+	}()
+}

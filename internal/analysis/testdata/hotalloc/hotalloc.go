@@ -1,0 +1,124 @@
+// Package hotalloc is golden-file input for the hotalloc check: heap-
+// allocating constructs are forbidden in //memdos:hotpath functions and
+// in the same-package functions they reach through static calls. Cold
+// exits (panic arguments, error construction) are exempt by design, and
+// amortized growth carries a //memdos:ignore hotalloc justification.
+package hotalloc
+
+import "fmt"
+
+type counter struct {
+	vals []float64
+	sink any
+	fn   func() int
+}
+
+// Grow is an annotated root; ensure below inherits the contract from it.
+//
+//memdos:hotpath
+func (c *counter) Grow(n int) {
+	c.vals = make([]float64, n) // want `make allocates in hotpath counter\.Grow`
+	c.ensure(n)
+	c.sink = n // want `assigning n boxes a int into an interface in hotpath counter\.Grow`
+}
+
+// ensure is never annotated itself: it is hot because Grow reaches it.
+func (c *counter) ensure(n int) {
+	grown := make([]float64, n) // want `make allocates in counter\.ensure \(reached from hotpath counter\.Grow\)`
+	c.vals = grown
+}
+
+// Format exercises the fmt and string-building rules.
+//
+//memdos:hotpath
+func Format(id int, buf []byte) []byte {
+	s := fmt.Sprintf("vm-%d", id) // want `fmt\.Sprintf allocates in hotpath Format`
+	name := "vm" + s              // want `string concatenation allocates in hotpath Format`
+	buf = append(buf, name...)
+	return buf
+}
+
+// Transform exercises closures and the diverging-append rule; the
+// self-append in Format above stays legal.
+//
+//memdos:hotpath
+func Transform(xs []float64) []float64 {
+	scale := xs[0]
+	double := func(v float64) float64 { return scale * v } // want `function literal allocates its closure in hotpath Transform`
+	out := append(xs, 1)                                   // want `append result lands in out but grows xs in hotpath Transform`
+	for i := range out {
+		out[i] = double(out[i])
+	}
+	return out
+}
+
+// Index exercises the literal and new rules.
+//
+//memdos:hotpath
+func Index(n int) int {
+	idx := map[string]int{}    // want `map literal allocates in hotpath Index`
+	weights := []float64{1, 2} // want `slice literal allocates its backing array in hotpath Index`
+	pt := &counter{}           // want `&hotalloc\.counter literal allocates in hotpath Index`
+	box := new(counter)        // want `new allocates in hotpath Index`
+	idx["w"] = len(weights) + len(pt.vals) + len(box.vals) + n
+	return idx["w"]
+}
+
+func sink(v any) { _ = v }
+
+// Box exercises interface boxing at a call boundary; sink becomes hot
+// by being reached.
+//
+//memdos:hotpath
+func Box(n int) {
+	sink(n) // want `passing n boxes a int into an interface in hotpath Box`
+}
+
+// Key exercises the allocating-conversion rule.
+//
+//memdos:hotpath
+func Key(b []byte) string {
+	return string(b) // want `conversion \[\]byte -> string copies its data in hotpath Key`
+}
+
+// AsAny exercises interface boxing at a return.
+//
+//memdos:hotpath
+func AsAny(c counter) any {
+	return c // want `returning c boxes a hotalloc\.counter into an interface in hotpath AsAny`
+}
+
+// Hook exercises the method-value rule.
+//
+//memdos:hotpath
+func Hook(c *counter) {
+	c.fn = c.length // want `method value c\.length allocates a bound closure in hotpath Hook`
+}
+
+func (c *counter) length() int { return len(c.vals) }
+
+// Checked is clean: error construction and panic arguments are cold
+// exits, and the self-append is the amortized caller-managed idiom.
+//
+//memdos:hotpath
+func Checked(xs []float64, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hotalloc: negative count %d", n)
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("hotalloc: absurd count %d", n))
+	}
+	xs = append(xs, float64(n))
+	return xs, nil
+}
+
+// Amortized shows the sanctioned escape hatch: a grow-once allocation
+// with a justification that names the amortization argument.
+//
+//memdos:hotpath
+func Amortized(c *counter, n int) {
+	if cap(c.vals) < n {
+		c.vals = make([]float64, n) //memdos:ignore hotalloc grow-once: capacity is kept across calls, so the steady state is allocation-free // wantsup `make allocates in hotpath Amortized`
+	}
+	c.vals = c.vals[:n]
+}

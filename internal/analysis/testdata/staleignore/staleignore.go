@@ -1,0 +1,25 @@
+// Package staleignore is golden-file input for the stale-suppression
+// audit: a //memdos:ignore comment that suppresses nothing is itself a
+// diagnostic (pseudo-check "staleignore", exit status 2). The package
+// keeps one live finding and one live suppression so the audit's
+// used/unused distinction is pinned, not just the unused half.
+package staleignore
+
+// Converged has the live finding the corpus needs to fail memdos-vet.
+func Converged(prev, next float64) bool {
+	return prev == next // want `floating-point == comparison`
+}
+
+// Sticky has a live suppression: the entry matches a finding, so the
+// audit must not report it.
+func Sticky(a, b float64) bool {
+	return a == b //memdos:ignore floateq exact bit-match is the sentinel-zero semantics here // wantsup `floating-point == comparison`
+}
+
+// Quiet carries two dead suppressions: one whose check finds nothing on
+// its line, one naming a check that does not exist.
+func Quiet(x, y int) int {
+	sum := x + y //memdos:ignore floateq this comparison was a float before the int refactor // wantstale `suppression for floateq matches no finding; the justified code is gone`
+	gap := x - y //memdos:ignore nosuchcheck typo'd check name that can never match // wantstale `suppression names unknown check "nosuchcheck"`
+	return sum * gap
+}

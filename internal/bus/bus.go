@@ -122,6 +122,8 @@ func (b *Bus) lockOf(o int) float64 {
 // the step, deliveries scale down proportionally. Request and lock state
 // are cleared for the next step; the returned view is valid until the next
 // Resolve.
+//
+//memdos:hotpath bench=bus/resolve
 func (b *Bus) Resolve(dt float64) Deliveries {
 	if dt <= 0 {
 		panic(fmt.Sprintf("bus: non-positive step %v", dt))
@@ -136,7 +138,7 @@ func (b *Bus) Resolve(dt float64) Deliveries {
 	}
 
 	if cap(b.delivered) < len(b.requests) {
-		b.delivered = make([]float64, len(b.requests))
+		b.delivered = make([]float64, len(b.requests)) //memdos:ignore hotalloc grow-once scratch: capacity tracks the owner count and is reused every step
 	}
 	b.delivered = b.delivered[:len(b.requests)]
 	var totalDelivered float64

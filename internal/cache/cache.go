@@ -187,7 +187,7 @@ func (c *Cache) statsFor(o Owner) *Stats {
 		panic(fmt.Sprintf("cache: stats for invalid owner %d", o))
 	}
 	if int(o) >= len(c.stats) {
-		grown := make([]Stats, int(o)+1)
+		grown := make([]Stats, int(o)+1) //memdos:ignore hotalloc grow-once stats table: steady state (owners already seen) allocates nothing, pinned by TestAccessNoAllocs
 		copy(grown, c.stats)
 		c.stats = grown
 	}
@@ -201,6 +201,8 @@ func (c *Cache) statsFor(o Owner) *Stats {
 // This is the simulation's innermost loop: one fused pass over the set
 // resolves both the hit way and the first invalid (fill) way, owner stats
 // are a dense-slice index, and the steady state performs no allocations.
+//
+//memdos:hotpath bench=cache/access
 func (c *Cache) Access(o Owner, addr uint64) bool {
 	set := c.setIndex(addr)
 	tag := addr >> c.setShift

@@ -70,7 +70,7 @@ func forkRows(m, w int, body func(lo, hi int)) {
 	wg.Add(w)
 	for j := 0; j < w; j++ {
 		lo, hi := shardBounds(m, w, j)
-		go func(lo, hi int) {
+		go func(lo, hi int) { //memdos:ignore hotalloc only the tile-parallel path pays the spawn; the workers=1 path never reaches forkRows
 			defer wg.Done()
 			body(lo, hi)
 		}(lo, hi)
@@ -85,7 +85,7 @@ func gemmNN(m, n, k int, a []float64, lda int, bm []float64, ldb int, c []float6
 		return
 	}
 	if w := shardWorkers(m, m*n*k); w > 1 {
-		forkRows(m, w, func(lo, hi int) {
+		forkRows(m, w, func(lo, hi int) { //memdos:ignore hotalloc closure exists only on the tile-parallel path; the serial path calls the range kernel directly
 			gemmNNRange(lo, hi, n, k, a, lda, bm, ldb, c, ldc)
 		})
 		return
@@ -137,7 +137,7 @@ func gemmTN(m, n, k int, a []float64, lda int, bm []float64, ldb int, c []float6
 		return
 	}
 	if w := shardWorkers(m, m*n*k); w > 1 {
-		forkRows(m, w, func(lo, hi int) {
+		forkRows(m, w, func(lo, hi int) { //memdos:ignore hotalloc closure exists only on the tile-parallel path; the serial path calls the range kernel directly
 			gemmTNRange(lo, hi, n, k, a, lda, bm, ldb, c, ldc)
 		})
 		return
@@ -186,7 +186,7 @@ func gemmNT(m, n, k int, a []float64, lda int, bm []float64, ldb int, c []float6
 		return
 	}
 	if w := shardWorkers(m, m*n*k); w > 1 {
-		forkRows(m, w, func(lo, hi int) {
+		forkRows(m, w, func(lo, hi int) { //memdos:ignore hotalloc closure exists only on the tile-parallel path; the serial path calls the range kernel directly
 			gemmNTRange(lo, hi, n, k, a, lda, bm, ldb, c, ldc)
 		})
 		return

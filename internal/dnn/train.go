@@ -124,6 +124,8 @@ func NewStepper(m *LSTMFCN, opt *Adam) *Stepper {
 // Step runs one forward/loss/backward/update cycle on the batch and
 // returns the mean loss and the per-sample probabilities. The probability
 // tensor is workspace-backed: it is valid until the next Step.
+//
+//memdos:hotpath bench=dnn/train-step
 func (s *Stepper) Step(x *Tensor, y []int) (float64, *Tensor) {
 	logits := s.M.Forward(x, true)
 	if s.params == nil {

@@ -379,6 +379,8 @@ func (c *Controller) Request(o Owner, bytes, rowHitFrac float64) {
 // it serves. Latencies come from the post-budget demand composition
 // (row-buffer interference + congestion), so they are identical at any
 // caller-side sharding of the same demand.
+//
+//memdos:hotpath bench=mem/resolve-1024-vms
 func (c *Controller) Resolve(dt float64) Resolution {
 	if dt <= 0 {
 		panic(fmt.Sprintf("mem: non-positive step %v", dt))
@@ -568,7 +570,7 @@ func (c *Controller) waterfill(n int, capUnits float64) {
 // growTo resizes s to exactly n elements, reusing capacity.
 func growTo(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //memdos:ignore hotalloc grow-once scratch: capacity tracks the owner count; TestResolveZeroAlloc pins the steady state
 	}
 	return s[:n]
 }

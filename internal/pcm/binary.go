@@ -74,6 +74,8 @@ const (
 // and the session name must satisfy the same rules the stream package
 // enforces; refusing here keeps unsendable frames from ever reaching a
 // socket.
+//
+//memdos:hotpath
 func AppendBatch(dst []byte, session string, samples []Sample) ([]byte, error) {
 	if err := validFrameSession(session); err != nil {
 		return dst, err
@@ -124,6 +126,8 @@ func appendFloatField(dst []byte, v float64) []byte {
 // call's result re-sliced to [:0]) and the decode allocates nothing.
 // The returned session aliases body and is only valid while body is;
 // callers that outlive the buffer must copy it.
+//
+//memdos:hotpath bench=ingest/decode-batch
 func DecodeBatchInto(dst []Sample, body []byte) (session []byte, samples []Sample, err error) {
 	if len(body) == 0 {
 		return nil, dst, fmt.Errorf("pcm: empty frame body")
@@ -267,6 +271,8 @@ func (fr *FrameReader) Reset(r io.Reader) { fr.r = r }
 // Next returns the next frame body. A clean end of stream — EOF exactly
 // on a frame boundary — returns io.EOF; EOF inside a frame is an error,
 // so a producer that dies mid-frame is never mistaken for a clean close.
+//
+//memdos:hotpath
 func (fr *FrameReader) Next() ([]byte, error) {
 	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
@@ -279,7 +285,7 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		return nil, fmt.Errorf("pcm: frame body of %d bytes (want 1-%d)", n, fr.max)
 	}
 	if cap(fr.buf) < n {
-		fr.buf = make([]byte, n)
+		fr.buf = make([]byte, n) //memdos:ignore hotalloc grow-once frame buffer: capacity sticks to the largest frame seen; TestDecodeBatchIntoZeroAlloc pins the warmed steady state
 	}
 	body := fr.buf[:n]
 	if _, err := io.ReadFull(fr.r, body); err != nil {

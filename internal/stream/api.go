@@ -126,6 +126,8 @@ func DecodeIngest(r io.Reader) (*IngestRequest, error) {
 
 // DecodeIngestInto parses and validates an ingest request body into
 // req, reusing whatever batch and sample capacity req already carries.
+//
+//memdos:hotpath
 func DecodeIngestInto(req *IngestRequest, r io.Reader) error {
 	resetIngestRequest(req)
 	dec := json.NewDecoder(io.LimitReader(r, MaxIngestBytes+1))

@@ -355,6 +355,8 @@ type StepResult struct {
 
 // Step advances the server by one T_PCM tick and returns any completed PCM
 // samples.
+//
+//memdos:hotpath bench=vmm/step
 func (s *Server) Step() StepResult {
 	now := s.clock.Now()
 	dt := s.cfg.TPCM
@@ -396,7 +398,7 @@ func (s *Server) Step() StepResult {
 
 	// Phase 2: application demands, attenuated by cleansing stalls.
 	if len(s.stepStates) < len(s.vms) {
-		s.stepStates = make([]appState, len(s.vms))
+		s.stepStates = make([]appState, len(s.vms)) //memdos:ignore hotalloc grow-once scratch sized to the VM population; reused every step
 	}
 	states := s.stepStates[:len(s.vms)]
 	for i := range states {
@@ -434,7 +436,7 @@ func (s *Server) Step() StepResult {
 
 	// Phase 4: progress and PCM accounting.
 	if s.stepSamples == nil {
-		s.stepSamples = make(map[VMID]pcm.Sample, len(s.vms))
+		s.stepSamples = make(map[VMID]pcm.Sample, len(s.vms)) //memdos:ignore hotalloc built once, then cleared and reused every step
 	}
 	clear(s.stepSamples)
 	res := StepResult{Time: now + dt, Samples: s.stepSamples}
