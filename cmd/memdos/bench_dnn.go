@@ -53,3 +53,82 @@ func benchDNNInfer(b *testing.B) {
 		s.M.Forward(x, false)
 	}
 }
+
+// Batched cascade scoring benchmarks: the production inference service's
+// hot path. dnn/infer-looped is the pre-scorer reference (per-window
+// float64 graph forward through both cascade stages); dnn/infer-batched
+// is the compiled batch scorer over the same 256 windows and must hold
+// roughly an order of magnitude over it, at 0 allocs/op steady state.
+// dnn/infer-batched-int8 tracks the quantized variant so the tradeoff
+// stays measured rather than assumed.
+
+const scoreBenchBatch, scoreBenchWindow = 256, 50
+
+// benchScorerSetup builds a compact cascade with fitted normalization
+// plus one synthetic 256-window batch, in both nested and flat layouts.
+func benchScorerSetup(b *testing.B, quant bool) (*dnn.Cascade, *dnn.BatchScorer, [][][]float64, []float64) {
+	b.Helper()
+	rng := sim.NewRNG(79)
+	c, err := dnn.NewCascade(2, dnn.CompactLSTMFCNConfig, sim.NewRNG(80))
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := make([][][]float64, scoreBenchBatch)
+	flat := make([]float64, 0, scoreBenchBatch*scoreBenchWindow*2)
+	for i := range windows {
+		win := make([][]float64, scoreBenchWindow)
+		for t := range win {
+			acc := 100 + rng.Normal(0, 8)
+			miss := 10 + rng.Normal(0, 1)
+			win[t] = []float64{acc, miss}
+			flat = append(flat, acc, miss)
+		}
+		windows[i] = win
+	}
+	if c.Norm, err = dnn.FitChannelNorm(windows); err != nil {
+		b.Fatal(err)
+	}
+	s, err := c.Scorer(scoreBenchWindow, dnn.ScorerOptions{Int8: quant})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, s, windows, flat
+}
+
+func benchDNNInferLooped(b *testing.B) {
+	c, _, windows, _ := benchScorerSetup(b, false)
+	c.ClassifyGraph(windows[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range windows {
+			c.ClassifyGraph(w)
+		}
+	}
+	b.ReportMetric(scoreBenchBatch*float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+}
+
+func benchDNNInferBatched(b *testing.B) {
+	_, s, _, flat := benchScorerSetup(b, false)
+	apps := make([]int, scoreBenchBatch)
+	attacks := make([]int, scoreBenchBatch)
+	s.ScoreFlat(scoreBenchBatch, flat, apps, attacks) // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreFlat(scoreBenchBatch, flat, apps, attacks)
+	}
+	b.ReportMetric(scoreBenchBatch*float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+}
+
+func benchDNNInferBatchedInt8(b *testing.B) {
+	_, s, _, flat := benchScorerSetup(b, true)
+	apps := make([]int, scoreBenchBatch)
+	attacks := make([]int, scoreBenchBatch)
+	s.ScoreFlat(scoreBenchBatch, flat, apps, attacks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreFlat(scoreBenchBatch, flat, apps, attacks)
+	}
+	b.ReportMetric(scoreBenchBatch*float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+}

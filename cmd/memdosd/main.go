@@ -12,6 +12,16 @@
 //	memdosd [-addr :9464] [-apps KM,FN] [-profile-dur 120]
 //	        [-shards 0] [-queue 4096] [-policy drop|block] [-merge-gap 2]
 //	        [-respond] [-respond-tick 1s]
+//	        [-score-model cascade.bin] [-score-window 0] [-score-stride 0]
+//	        [-score-batch 64] [-score-queue 1024] [-score-int8] [-score-workers 0]
+//
+// With -score-model the daemon loads a saved LSTM-FCN cascade and runs
+// it as a batched scoring service: shard goroutines assemble per-session
+// sliding counter windows, a scorer goroutine classifies them in fused
+// batches, and the latest verdict appears as "cascade" in the
+// /v1/sessions views next to the detector state. -score-int8 trades a
+// little accuracy for quantized conv/dense kernels; memdos_dnn_* metrics
+// track throughput, batch fill, queue depth and sheds.
 //
 // With -respond the daemon attaches a closed-loop mitigation engine
 // (internal/respond) to the hub's alarm feed: alarm raises walk the
@@ -52,6 +62,7 @@ import (
 
 	"memdos/internal/core"
 	"memdos/internal/daemon"
+	"memdos/internal/dnn"
 	"memdos/internal/experiments"
 	"memdos/internal/respond"
 	"memdos/internal/stream"
@@ -75,6 +86,13 @@ func run(args []string) error {
 	mergeGap := fs.Float64("merge-gap", 2, "merge incident episodes separated by <= this many seconds")
 	respondOn := fs.Bool("respond", false, "attach the closed-loop mitigation engine to the alarm feed")
 	respondTick := fs.Duration("respond-tick", time.Second, "hysteresis tick interval for the mitigation engine")
+	scoreModel := fs.String("score-model", "", "saved dnn cascade to attach as the batched scoring service ('' disables)")
+	scoreWindow := fs.Int("score-window", 0, "cascade window length in samples (0 = the model's training window)")
+	scoreStride := fs.Int("score-stride", 0, "samples between consecutive windows (0 = window, non-overlapping)")
+	scoreBatch := fs.Int("score-batch", 0, "max windows fused per scorer call (0 = 64)")
+	scoreQueue := fs.Int("score-queue", 0, "scoring queue capacity in windows (0 = 1024)")
+	scoreInt8 := fs.Bool("score-int8", false, "quantize the cascade's conv/dense GEMMs to int8")
+	scoreWorkers := fs.Int("score-workers", 0, "kernel worker goroutines for batched inference (0 = leave default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +113,21 @@ func run(args []string) error {
 	hub := stream.NewHub(cfg)
 	if err := registerProfiles(hub, splitApps(*apps), *profileDur); err != nil {
 		return err
+	}
+
+	if *scoreModel != "" {
+		if *scoreWorkers > 0 {
+			dnn.SetKernelWorkers(*scoreWorkers)
+		}
+		cs, err := daemon.LoadCascadeScorer(*scoreModel, *scoreWindow, dnn.ScorerOptions{Int8: *scoreInt8})
+		if err != nil {
+			return err
+		}
+		scfg := stream.ScorerConfig{Stride: *scoreStride, Batch: *scoreBatch, QueueCap: *scoreQueue}
+		if err := hub.AttachScorer(cs, scfg); err != nil {
+			return err
+		}
+		fmt.Printf("memdosd: batched cascade scoring on (window %d, int8 %v)\n", cs.Window(), *scoreInt8)
 	}
 
 	var eng *respond.Engine

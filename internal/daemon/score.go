@@ -1,0 +1,75 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"memdos/internal/dnn"
+)
+
+// CascadeScorer adapts a compiled dnn.BatchScorer to the hub's
+// stream.WindowScorer interface, so the serving layer can drive batched
+// cascade inference without internal/stream depending on internal/dnn.
+// The hub calls ScoreFlat from its single scorer goroutine; the mutex
+// documents (and enforces) that the underlying arenas have one caller.
+type CascadeScorer struct {
+	mu sync.Mutex
+	s  *dnn.BatchScorer
+}
+
+// NewCascadeScorer compiles the cascade for batched scoring. window <= 0
+// uses the cascade's intrinsic (training-time) window length.
+func NewCascadeScorer(c *dnn.Cascade, window int, opts dnn.ScorerOptions) (*CascadeScorer, error) {
+	if window <= 0 {
+		window = c.Window()
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("daemon: cascade has no intrinsic window; pass -score-window")
+	}
+	s, err := c.Scorer(window, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CascadeScorer{s: s}, nil
+}
+
+// LoadCascadeScorer reads a cascade saved with dnn's Save and compiles
+// it for batched scoring.
+func LoadCascadeScorer(path string, window int, opts dnn.ScorerOptions) (*CascadeScorer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := dnn.LoadCascade(f)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: loading cascade %s: %w", path, err)
+	}
+	return NewCascadeScorer(c, window, opts)
+}
+
+// Window implements stream.WindowScorer.
+func (cs *CascadeScorer) Window() int { return cs.s.Window() }
+
+// ScoreFlat implements stream.WindowScorer.
+func (cs *CascadeScorer) ScoreFlat(n int, flat []float64, apps, attacks []int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.s.ScoreFlat(n, flat, apps, attacks)
+}
+
+// AttackName implements stream.AttackNamer with the cascade's class
+// labels.
+func (cs *CascadeScorer) AttackName(class int) string {
+	switch class {
+	case dnn.ClassNoAttack:
+		return "none"
+	case dnn.ClassBusLock:
+		return "bus-lock"
+	case dnn.ClassCleansing:
+		return "cleansing"
+	default:
+		return fmt.Sprintf("class-%d", class)
+	}
+}

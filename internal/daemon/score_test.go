@@ -1,0 +1,143 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memdos/internal/core"
+	"memdos/internal/dnn"
+	"memdos/internal/sim"
+	"memdos/internal/stream"
+)
+
+// testCascadeScorer builds a small untrained cascade with a fitted norm
+// and compiles it for batched scoring, the way run() does from a saved
+// model file.
+func testCascadeScorer(t *testing.T, window int) *CascadeScorer {
+	t.Helper()
+	rng := sim.NewRNG(91)
+	c, err := dnn.NewCascade(2, dnn.CompactLSTMFCNConfig, sim.NewRNG(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := make([][][]float64, 24)
+	for i := range windows {
+		w := make([][]float64, window)
+		for j := range w {
+			w[j] = []float64{100 + rng.Normal(0, 8), 10 + rng.Normal(0, 1)}
+		}
+		windows[i] = w
+	}
+	if c.Norm, err = dnn.FitChannelNorm(windows); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCascadeScorer(c, window, dnn.ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// The full serving path must carry cascade verdicts: samples POSTed to
+// /v1/ingest assemble into windows, the scoring service classifies them,
+// and /v1/sessions/{id} reports the verdict next to the detector state.
+func TestEndToEndCascadeScoring(t *testing.T) {
+	const window = 20
+	cfg := stream.DefaultConfig()
+	cfg.Shards = 1
+	cfg.Policy = stream.Block
+	hub := stream.NewHub(cfg)
+	if err := hub.RegisterProfile("raw", func() (core.Detector, error) {
+		return core.NewRawThreshold(0.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cs := testCascadeScorer(t, window)
+	if err := hub.AttachScorer(cs, stream.ScorerConfig{Stride: window / 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(hub, nil))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { hub.Close() })
+
+	// 50 samples, window 20, stride 10: windows starting at samples
+	// 1, 11, 21, 31 — four scored windows.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/ingest", ingestBody("vm-dnn", "raw", 50, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	if err := hub.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/vm-dnn", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get session: %d %s", resp.StatusCode, body)
+	}
+	var in stream.SessionInfo
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatalf("decoding session: %v\n%s", err, body)
+	}
+	if in.Cascade == nil {
+		t.Fatalf("session carries no cascade verdict:\n%s", body)
+	}
+	if in.Cascade.Windows != 4 {
+		t.Fatalf("verdict windows = %d, want 4:\n%s", in.Cascade.Windows, body)
+	}
+	if in.Cascade.Attack == "" {
+		t.Fatalf("verdict has no attack label:\n%s", body)
+	}
+	switch in.Cascade.Attack {
+	case "none", "bus-lock", "cleansing":
+	default:
+		t.Fatalf("unknown attack label %q", in.Cascade.Attack)
+	}
+	if in.Cascade.App < 0 || in.Cascade.App > 1 {
+		t.Fatalf("app %d out of range for a 2-app cascade", in.Cascade.App)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, m := range []string{"memdos_dnn_windows_scored_total", "memdos_dnn_batches_total"} {
+		if !strings.Contains(string(body), m) {
+			t.Fatalf("metrics missing %s", m)
+		}
+	}
+	st := hub.ScorerStats()
+	if !st.Attached || st.WindowsScored != 4 {
+		t.Fatalf("scorer stats %+v, want 4 windows scored", st)
+	}
+}
+
+// NewCascadeScorer must refuse a cascade with no usable window rather
+// than compiling a degenerate scorer.
+func TestCascadeScorerNeedsWindow(t *testing.T) {
+	c, err := dnn.NewCascade(2, dnn.CompactLSTMFCNConfig, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCascadeScorer(c, 0, dnn.ScorerOptions{}); err == nil {
+		t.Fatal("accepted cascade without an intrinsic window")
+	}
+}
+
+// AttackName must translate every defined class and degrade gracefully.
+func TestCascadeScorerAttackNames(t *testing.T) {
+	cs := &CascadeScorer{}
+	want := map[int]string{
+		dnn.ClassNoAttack:  "none",
+		dnn.ClassBusLock:   "bus-lock",
+		dnn.ClassCleansing: "cleansing",
+		7:                  "class-7",
+	}
+	for class, name := range want {
+		if got := cs.AttackName(class); got != name {
+			t.Fatalf("AttackName(%d) = %q, want %q", class, got, name)
+		}
+	}
+}

@@ -85,6 +85,15 @@ type Cascade struct {
 
 	App    *LSTMFCN
 	Attack *LSTMFCN
+
+	// Compiled batch-1 scorer backing Classify, built lazily from the
+	// current weights and invalidated whenever they change
+	// (InvalidateScorer). scorerTried latches a failed build so exotic
+	// shapes fall back to the graph path without recompiling per call.
+	scorer      *BatchScorer
+	scorerTried bool
+	flatBuf     []float64
+	app1, atk1  [1]int
 }
 
 // NewCascade builds an untrained cascade. arch chooses the per-stage
@@ -118,12 +127,85 @@ func conditionWindow(window [][]float64, app, numApps int) [][]float64 {
 }
 
 // Classify runs the full cascade on one raw window and returns the
-// predicted application and attack class.
+// predicted application and attack class. It routes through the compiled
+// batch-1 scorer (allocation-free at steady state; see
+// TestClassifyZeroAllocs); windows the scorer cannot compile for fall
+// back to ClassifyGraph.
 func (c *Cascade) Classify(window [][]float64) (app, attackClass int) {
+	s := c.ensureScorer(len(window))
+	if s == nil {
+		return c.ClassifyGraph(window)
+	}
+	need := 2 * len(window)
+	if cap(c.flatBuf) < need {
+		c.flatBuf = make([]float64, need) // grow-once workspace: capacity sticks to the high-water mark, zero allocs at steady shape
+	}
+	flat := c.flatBuf[:need]
+	for t, row := range window {
+		flat[2*t] = row[0]
+		flat[2*t+1] = row[1]
+	}
+	s.ScoreFlat(1, flat, c.app1[:], c.atk1[:])
+	return c.app1[0], c.atk1[0]
+}
+
+// ClassifyGraph runs the cascade through the float64 training graph: the
+// unbatched reference implementation Classify's compiled path is
+// validated (TestScorerMatchesGraph) and benchmarked (dnn/infer-looped)
+// against.
+func (c *Cascade) ClassifyGraph(window [][]float64) (app, attackClass int) {
 	norm := c.Norm.Apply(window)
 	app = c.classifyOne(c.App, norm)
 	attackClass = c.classifyOne(c.Attack, conditionWindow(norm, app, c.NumApps))
 	return app, attackClass
+}
+
+// Scorer returns a compiled batch scorer for the given window length and
+// options, building the LSTM branches if needed.
+func (c *Cascade) Scorer(window int, opts ScorerOptions) (*BatchScorer, error) {
+	return NewBatchScorer(c, window, opts)
+}
+
+// Window returns the window length the cascade's LSTM branch was built
+// for, or 0 if it has never seen data.
+func (c *Cascade) Window() int {
+	if c.App == nil || c.App.lstm == nil {
+		return 0
+	}
+	return c.App.lstm.In
+}
+
+// InvalidateScorer drops the compiled scorer backing Classify; callers
+// that mutate weights directly must invalidate before classifying again.
+// TrainCascade and restore do this automatically.
+func (c *Cascade) InvalidateScorer() {
+	c.scorer = nil
+	c.scorerTried = false
+}
+
+// ensureScorer lazily compiles the batch-1 scorer for window length w,
+// returning nil when compilation is impossible (unfitted norm, window
+// shorter than the conv edge split).
+func (c *Cascade) ensureScorer(w int) *BatchScorer {
+	if c.scorer != nil {
+		if c.scorer.w == w {
+			return c.scorer
+		}
+		// Window length changed mid-stream: the underlying models panic
+		// on mismatch in the graph path too, so recompile attempts are
+		// fine to make loudly.
+		c.InvalidateScorer()
+	}
+	if c.scorerTried {
+		return nil
+	}
+	c.scorerTried = true
+	s, err := NewBatchScorer(c, w, ScorerOptions{})
+	if err != nil {
+		return nil
+	}
+	c.scorer = s
+	return s
 }
 
 func (c *Cascade) classifyOne(m *LSTMFCN, window [][]float64) int {
@@ -176,5 +258,6 @@ func TrainCascade(c *Cascade, samples []CascadeSample, cfg TrainConfig) (appRes,
 		return appRes, TrainResult{}, err
 	}
 	atkRes, err = Train(c.Attack, atkTrain, atkVal, cfg)
+	c.InvalidateScorer()
 	return appRes, atkRes, err
 }

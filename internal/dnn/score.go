@@ -1,0 +1,758 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchScorer is the cascade's production inference engine: a compiled,
+// float32, allocation-free forward path that fuses N session windows into
+// single [N·T × C] tensors and runs them through AVX2/FMA GEMM
+// microkernels (kernels32). It exists because the training graph —
+// float64, im2col copies, per-element BatchNorm, cached activations for
+// backward — is an order of magnitude too slow to serve a fleet.
+//
+// Compilation folds each BatchNorm into its convolution (w' = w·γ/σ,
+// b' = β + γ(b−μ)/σ), stages every weight matrix in the [k][n] layout
+// the NN-form C += A·B kernel wants (for the LSTM, attention, and dense
+// layers that is their natural storage order; only conv weights
+// transpose), fuses the convolution ReLUs into the GEMM epilogue, and
+// drops everything inference never reads: ReLU masks, dropout,
+// activation caches. Interior convolution rows skip im2col entirely — a
+// window row's receptive field is already a contiguous slice of the
+// input tensor — so only the K/2 edge rows per side are staged into a
+// zero-padded arena.
+//
+// Scoring is split into two stages so a pipeline can overlap them:
+// Prepare normalizes raw counter windows into one of two input slots
+// (the double buffer), Score runs the compiled cascade on a prepared
+// slot. Prepare touches only slot storage and Score only model arenas,
+// so one Prepare may run concurrently with one Score on a different
+// slot; neither may run concurrently with itself.
+//
+// Determinism: the float32 path inherits the kernel layer's schedule
+// guarantee — every output element accumulates identically regardless of
+// batch size or kernel worker count — so ScoreBatch over N windows is
+// byte-identical to N batch-1 calls. The int8 path (ScorerOptions.Int8)
+// trades that away across batch shapes: activation scales are computed
+// per batch, so grouping affects rounding; within a fixed batch it is
+// still exactly deterministic (integer accumulation).
+type BatchScorer struct {
+	w       int // window length
+	numApps int
+	quant   bool
+
+	nmean, ninv [2]float32 // folded ChannelNorm: x' = (log1p(x)-mean)*inv
+	nvec        normVec    // the same, in the vector kernel's lane pattern
+
+	app, atk *modelProg
+
+	prep  [2]PreparedBatch
+	slot  int
+	cond  []float32 // conditioned attack-stage input [n][w][2+numApps]
+	stage []float64 // contiguous staging for PrepareWindows rows
+}
+
+// ScorerOptions selects scorer variants.
+type ScorerOptions struct {
+	// Int8 quantizes the convolution and dense GEMMs to symmetric
+	// per-output-channel int8 weights with per-tensor dynamic activation
+	// scales. The LSTM and attention stay float32 (they are a small
+	// fraction of the MACs and the recurrence compounds rounding).
+	Int8 bool
+}
+
+// PreparedBatch is a normalized input batch staged in one of the
+// scorer's two slots. It is valid until the slot is reused: at most two
+// Prepare results are live at a time.
+type PreparedBatch struct {
+	owner *BatchScorer
+	n     int
+	x     []float32 // [n][w][2]
+}
+
+// N returns the number of windows in the batch.
+func (p *PreparedBatch) N() int { return p.n }
+
+// NewBatchScorer compiles the cascade for the given window length. The
+// cascade must have fitted normalization statistics (train or load
+// first); its lazily built LSTM branches are materialized here if needed.
+// Returns an error for windows shorter than the convolution stack's edge
+// region, where the compiled edge/interior split does not apply.
+func NewBatchScorer(c *Cascade, window int, opts ScorerOptions) (*BatchScorer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dnn: scorer window must be positive, got %d", window)
+	}
+	if len(c.Norm.Mean) != 2 || len(c.Norm.Std) != 2 {
+		return nil, fmt.Errorf("dnn: cascade has no fitted channel normalization")
+	}
+	if c.App.lstm == nil {
+		c.App.Forward(NewTensor(1, window, 2), false)
+	}
+	if c.Attack.lstm == nil {
+		c.Attack.Forward(NewTensor(1, window, 2+c.NumApps), false)
+	}
+	app, err := compileModel(c.App, window, opts.Int8)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: compiling app stage: %w", err)
+	}
+	atk, err := compileModel(c.Attack, window, opts.Int8)
+	if err != nil {
+		return nil, fmt.Errorf("dnn: compiling attack stage: %w", err)
+	}
+	s := &BatchScorer{
+		w:       window,
+		numApps: c.NumApps,
+		quant:   opts.Int8,
+		app:     app,
+		atk:     atk,
+	}
+	for ch := 0; ch < 2; ch++ {
+		s.nmean[ch] = float32(c.Norm.Mean[ch])
+		s.ninv[ch] = float32(1 / c.Norm.Std[ch])
+	}
+	s.nvec = makeNormVec(s.nmean, s.ninv)
+	s.prep[0].owner = s
+	s.prep[1].owner = s
+	return s, nil
+}
+
+// Window returns the window length the scorer was compiled for.
+func (s *BatchScorer) Window() int { return s.w }
+
+// Quantized reports whether the conv/dense GEMMs run in int8.
+func (s *BatchScorer) Quantized() bool { return s.quant }
+
+// Prepare normalizes n raw windows, given flat as [n][w][2] row-major
+// counter values, into the next input slot and returns the staged batch.
+// Runs concurrently with Score on the other slot.
+//
+//memdos:hotpath bench=dnn/infer-batched
+func (s *BatchScorer) Prepare(n int, flat []float64) *PreparedBatch {
+	if len(flat) != n*s.w*2 {
+		panic(fmt.Sprintf("dnn: Prepare got %d values, want %d windows x %d x 2", len(flat), n, s.w))
+	}
+	p := &s.prep[s.slot]
+	s.slot ^= 1
+	x := ensureF32(&p.x, n*s.w*2)
+	snormLog1p(x, flat, &s.nvec)
+	p.n = n
+	return p
+}
+
+// PrepareWindows is Prepare over [][][]float64 windows ([w][2] each).
+//
+//memdos:hotpath bench=dnn/infer-batched
+func (s *BatchScorer) PrepareWindows(windows [][][]float64) *PreparedBatch {
+	n := len(windows)
+	p := &s.prep[s.slot]
+	s.slot ^= 1
+	x := ensureF32(&p.x, n*s.w*2)
+	stage := ensureF64(&s.stage, n*s.w*2)
+	for b, w := range windows {
+		if len(w) != s.w {
+			panic(fmt.Sprintf("dnn: scorer compiled for window %d, got %d", s.w, len(w)))
+		}
+		base := b * s.w * 2
+		for t, row := range w {
+			stage[base+2*t] = row[0]
+			stage[base+2*t+1] = row[1]
+		}
+	}
+	snormLog1p(x, stage, &s.nvec)
+	p.n = n
+	return p
+}
+
+// Score runs the full cascade on a prepared batch: the app stage
+// classifies every window, the one-hot conditioned attack stage follows,
+// and the argmax verdicts land in apps[i] and attacks[i]. Zero
+// allocations at steady state; arena capacity sticks to the high-water
+// batch size.
+//
+//memdos:hotpath bench=dnn/infer-batched
+func (s *BatchScorer) Score(p *PreparedBatch, apps, attacks []int) {
+	if p.owner != s {
+		panic("dnn: PreparedBatch from a different scorer")
+	}
+	n := p.n
+	if len(apps) < n || len(attacks) < n {
+		panic(fmt.Sprintf("dnn: Score needs %d result slots, got %d/%d", n, len(apps), len(attacks)))
+	}
+	// Tile the batch so the forward pass's working set (conv ping-pong
+	// buffers and friends, ~10KB per window) stays L2-resident: one
+	// monolithic batch-256 pass streams megabytes through every layer and
+	// loses more to cache misses than it gains in GEMM amortization.
+	// Tiling cannot change results — batched-equals-looped holds at every
+	// chunk size (see the determinism contract in kernels32.go).
+	ca := 2 + s.numApps
+	cond := ensureF32(&s.cond, min(n, scoreTile)*s.w*ca)
+	// Logits cover the whole batch (callers read them after Score); the
+	// per-tile forward passes write their slice of it.
+	appLog := ensureF32(&s.app.logits, n*s.app.classes)
+	atkLog := ensureF32(&s.atk.logits, n*s.atk.classes)
+	for lo := 0; lo < n; lo += scoreTile {
+		hi := min(lo+scoreTile, n)
+		s.app.forward(hi-lo, p.x[lo*s.w*2:hi*s.w*2], apps[lo:hi], appLog[lo*s.app.classes:hi*s.app.classes])
+		clear(cond[:(hi-lo)*s.w*ca])
+		for b := lo; b < hi; b++ {
+			hot := 2 + apps[b]
+			for t := 0; t < s.w; t++ {
+				src := p.x[(b*s.w+t)*2:]
+				dst := cond[((b-lo)*s.w+t)*ca:]
+				dst[0] = src[0]
+				dst[1] = src[1]
+				dst[hot] = 1
+			}
+		}
+		s.atk.forward(hi-lo, cond, attacks[lo:hi], atkLog[lo*s.atk.classes:hi*s.atk.classes])
+	}
+}
+
+// scoreTile bounds how many windows one forward pass carries. Chosen so
+// the per-tile arena footprint sits comfortably inside a per-core L2
+// while the GEMM panels stay wide enough to amortize kernel entry.
+const scoreTile = 32
+
+// ScoreBatch is the one-call convenience: normalize and score a batch of
+// raw windows. Equivalent to Score(PrepareWindows(windows), ...).
+//
+//memdos:hotpath bench=dnn/infer-batched
+func (s *BatchScorer) ScoreBatch(windows [][][]float64, apps, attacks []int) {
+	s.Score(s.PrepareWindows(windows), apps, attacks)
+}
+
+// ScoreFlat normalizes and scores n windows given flat as [n][w][2].
+//
+//memdos:hotpath bench=dnn/infer-batched
+func (s *BatchScorer) ScoreFlat(n int, flat []float64, apps, attacks []int) {
+	s.Score(s.Prepare(n, flat), apps, attacks)
+}
+
+// ---- compiled model program ----
+
+// modelProg is one LSTMFCN compiled to the float32 kernel layer.
+type modelProg struct {
+	T, cin, classes int
+	quant           bool
+
+	convs [3]convProg
+
+	// LSTM over the dimension-shuffled input: T' = cin steps of
+	// T-dimensional observations. Weights stay in their natural [k][n]
+	// storage order — exactly what the NN-form GEMM consumes.
+	H, g4  int
+	wx, wh []float32 // [T][4H], [H][4H]
+	lb     []float32 // [4H]
+	wa, va []float32 // [H][H], [H]
+
+	fcnC, J    int       // FCN branch width, joint width fcnC+H
+	outW, outB []float32 // [J][classes], [classes]
+	outWQ      []int8    // quantized output weights, NT layout [classes][J]
+	outWS      []float32 // per-class dequant scale
+
+	// arenas (grow-once, high-water sized)
+	bufA, bufB []float32 // conv ping-pong, [n][T][maxC]
+	edge       []float32 // zero-padded conv edge rows
+	shuf       []float32 // [n][cin][T]
+	hs         []float32 // [n][cin][H]
+	cs         []float32 // [n][H]
+	pre        []float32 // [n][4H]
+	tw         []float32 // [n][cin][H]
+	attnBuf    []float32 // [cin]
+	joint      []float32 // [n][J]: pooled FCN channels then attention ctx
+	logits     []float32 // [n][classes]
+
+	// int8 arenas
+	qIn   []int8
+	qEdge []int8
+	ci32  []int32
+}
+
+// convProg is one convolution with its BatchNorm folded in. The float
+// weights transpose to the NN layout [k*in][out]; the int8 copy keeps
+// the NT layout [out][k*in] that VPMADDWD's horizontal shape wants.
+type convProg struct {
+	in, out, k, half int
+	w                []float32 // [k*in][out]
+	b                []float32 // [out]
+	wq               []int8    // symmetric per-output-channel quantized, [out][k*in]
+	ws               []float32 // [out] weight scales
+}
+
+func compileModel(m *LSTMFCN, T int, quant bool) (*modelProg, error) {
+	if m.lstm == nil {
+		return nil, fmt.Errorf("model LSTM branch not built")
+	}
+	if m.lstm.In != T {
+		return nil, fmt.Errorf("model built for window %d, scorer wants %d", m.lstm.In, T)
+	}
+	p := &modelProg{
+		T:       T,
+		cin:     m.cfg.Channels,
+		classes: m.cfg.Classes,
+		quant:   quant,
+		H:       m.cfg.LSTMCells,
+		fcnC:    m.fcnC,
+	}
+	p.g4 = numGates * p.H
+	p.J = p.fcnC + p.H
+
+	convs := [3]*Conv1D{m.conv1, m.conv2, m.conv3}
+	bns := [3]*BatchNorm{m.bn1, m.bn2, m.bn3}
+	for i := range convs {
+		if T <= convs[i].K-1 {
+			return nil, fmt.Errorf("window %d too short for kernel %d edge split", T, convs[i].K)
+		}
+		p.convs[i] = compileConv(convs[i], bns[i], quant)
+	}
+
+	// LSTM gate weights, attention, and output dense are stored [k][n]
+	// row-major in the training graph already — straight narrowing copies.
+	l := m.lstm
+	p.wx = f64to32(l.wx.W)
+	p.wh = f64to32(l.wh.W)
+	p.lb = f64to32(l.b.W)
+	p.wa = f64to32(m.attn.wa.W)
+	p.va = f64to32(m.attn.va.W)
+	p.outW = f64to32(m.out.w.W)
+	p.outB = f64to32(m.out.b.W)
+	if quant {
+		// The int8 GEMM wants NT rows (one per class); build a transposed
+		// scratch just for quantization.
+		outNT := make([]float32, p.classes*p.J)
+		for o := 0; o < p.classes; o++ {
+			for j := 0; j < p.J; j++ {
+				outNT[o*p.J+j] = p.outW[j*p.classes+o]
+			}
+		}
+		p.outWQ, p.outWS = quantRows(outNT, p.classes, p.J)
+	}
+	return p, nil
+}
+
+func compileConv(c *Conv1D, bn *BatchNorm, quant bool) convProg {
+	ki := c.K * c.In
+	cp := convProg{in: c.In, out: c.Out, k: c.K, half: c.K / 2}
+	cp.w = make([]float32, ki*c.Out)
+	cp.b = make([]float32, c.Out)
+	var wNT []float32
+	if quant {
+		wNT = make([]float32, c.Out*ki)
+	}
+	for o := 0; o < c.Out; o++ {
+		g := bn.gamma.W[o] / math.Sqrt(bn.runVar[o]+bn.Eps)
+		for j := 0; j < ki; j++ {
+			f := float32(c.w.W[o*ki+j] * g)
+			cp.w[j*c.Out+o] = f
+			if quant {
+				wNT[o*ki+j] = f
+			}
+		}
+		cp.b[o] = float32(bn.beta.W[o] + g*(c.b.W[o]-bn.runMean[o]))
+	}
+	if quant {
+		cp.wq, cp.ws = quantRows(wNT, c.Out, ki)
+	}
+	return cp
+}
+
+func f64to32(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// quantRows quantizes rows of a [rows][k] matrix to symmetric int8 with
+// one scale per row (per output channel).
+func quantRows(w []float32, rows, k int) ([]int8, []float32) {
+	q := make([]int8, len(w))
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*k : (r+1)*k]
+		s := maxAbs32(row) / 127
+		if s == 0 { //memdos:ignore floateq exact zero means an all-zero row; scale 1 avoids division by zero
+			s = 1
+		}
+		scales[r] = s
+		inv := 1 / s
+		quantizeTo(q[r*k:(r+1)*k], row, inv)
+	}
+	return q, scales
+}
+
+func maxAbs32(x []float32) float32 {
+	var mx float32
+	for _, v := range x {
+		if v > mx {
+			mx = v
+		} else if -v > mx {
+			mx = -v
+		}
+	}
+	return mx
+}
+
+// quantizeTo rounds src*inv half-away-from-zero into int8. inv must map
+// src into [-127, 127].
+func quantizeTo(dst []int8, src []float32, inv float32) {
+	for i, v := range src {
+		f := v * inv
+		if f >= 0 {
+			dst[i] = int8(f + 0.5)
+		} else {
+			dst[i] = int8(f - 0.5)
+		}
+	}
+}
+
+// forward classifies n windows ([n][T][cin] in x) into out[0:n], writing
+// raw class scores to logits ([n][classes], provided by the caller so a
+// tiled Score can assemble the full batch's logits across calls).
+func (p *modelProg) forward(n int, x []float32, out []int, logits []float32) {
+	T, cin, H := p.T, p.cin, p.H
+
+	// FCN branch: conv+foldedBN x3 into the ping-pong arenas, each ReLU
+	// fused into its convolution's GEMM epilogue (every output element has
+	// exactly one GEMM-panel writer, so clamping at the store is exact).
+	maxC := cin
+	for _, cp := range p.convs {
+		maxC = max(maxC, cp.out)
+	}
+	bufA := ensureF32(&p.bufA, n*T*maxC)
+	bufB := ensureF32(&p.bufB, n*T*maxC)
+	p.convForward(&p.convs[0], n, x, bufA)
+	p.convForward(&p.convs[1], n, bufA, bufB)
+	p.convForward(&p.convs[2], n, bufB, bufA)
+
+	// Global average pool straight into the joint rows.
+	joint := ensureF32(&p.joint, n*p.J)
+	fcnOut := p.convs[2].out
+	invT := 1 / float32(T)
+	for b := 0; b < n; b++ {
+		jr := joint[b*p.J : b*p.J+fcnOut]
+		clear(jr)
+		for t := 0; t < T; t++ {
+			saddTo(jr, bufA[(b*T+t)*fcnOut:(b*T+t+1)*fcnOut])
+		}
+		for c := range jr {
+			jr[c] *= invT
+		}
+	}
+
+	// Dimension shuffle: [n][T][cin] -> [n][cin][T].
+	shuf := ensureF32(&p.shuf, n*cin*T)
+	for b := 0; b < n; b++ {
+		stransposeRows(shuf[b*cin*T:(b+1)*cin*T], x[b*T*cin:(b+1)*T*cin], T, cin)
+	}
+
+	// LSTM recurrence over cin steps of T-dimensional observations.
+	hs := ensureF32(&p.hs, n*cin*H)
+	cs := ensureF32(&p.cs, n*H)
+	pre := ensureF32(&p.pre, n*p.g4)
+	for t := 0; t < cin; t++ {
+		sbiasRows(n, p.g4, pre, p.g4, p.lb)
+		sgemm(n, p.g4, T, shuf[t*T:], cin*T, p.wx, p.g4, pre, p.g4, epiAdd)
+		if t > 0 {
+			sgemm(n, p.g4, H, hs[(t-1)*H:], cin*H, p.wh, p.g4, pre, p.g4, epiAdd)
+		}
+		for b := 0; b < n; b++ {
+			pr := pre[b*p.g4 : (b+1)*p.g4]
+			// Gate order is I, F, O, G: sigmoid on the first three blocks,
+			// tanh on the last, each a single vectorized pass.
+			vsigmoid(pr[gateI*H : (gateO+1)*H])
+			vtanh(pr[gateG*H : (gateG+1)*H])
+			ig := pr[gateI*H : gateI*H+H]
+			fg := pr[gateF*H : gateF*H+H]
+			og := pr[gateO*H : gateO*H+H]
+			gg := pr[gateG*H : gateG*H+H]
+			hr := hs[(b*cin+t)*H : (b*cin+t)*H+H]
+			cr := cs[b*H : (b+1)*H]
+			if t > 0 {
+				for h := 0; h < H; h++ {
+					cr[h] = ig[h]*gg[h] + fg[h]*cr[h]
+				}
+			} else {
+				for h := 0; h < H; h++ {
+					cr[h] = ig[h] * gg[h]
+				}
+			}
+			copy(hr, cr)
+			vtanh(hr)
+			for h := 0; h < H; h++ {
+				hr[h] *= og[h]
+			}
+		}
+	}
+
+	// Attention: scores from one fused GEMM + tanh·v epilogue, softmax,
+	// context accumulated into the joint rows after the FCN channels.
+	tw := ensureF32(&p.tw, n*cin*H)
+	clear(tw)
+	sgemm(n*cin, H, H, hs, H, p.wa, H, tw, H, epiAdd)
+	scores := ensureF32(&p.attnBuf, cin)
+	for b := 0; b < n; b++ {
+		// Per-sample vtanh: the slice length (cin*H) is fixed by model
+		// shape, so the SIMD/scalar dispatch cannot vary with batch size.
+		vtanh(tw[b*cin*H : (b+1)*cin*H])
+		for t := 0; t < cin; t++ {
+			scores[t] = sdot(tw[(b*cin+t)*H:(b*cin+t+1)*H], p.va)
+		}
+		maxS := scores[0]
+		for _, v := range scores[1:] {
+			if v > maxS {
+				maxS = v
+			}
+		}
+		var sum float32
+		for t := range scores {
+			scores[t] = expf(scores[t] - maxS)
+			sum += scores[t]
+		}
+		inv := 1 / sum
+		ctx := joint[b*p.J+fcnOut : (b+1)*p.J]
+		clear(ctx)
+		for t := 0; t < cin; t++ {
+			saxpy(scores[t]*inv, hs[(b*cin+t)*H:(b*cin+t+1)*H], ctx)
+		}
+	}
+
+	// Output dense + argmax.
+	if p.quant {
+		p.denseForwardQ(n, joint, logits)
+	} else {
+		sbiasRows(n, p.classes, logits, p.classes, p.outB)
+		sgemm(n, p.classes, p.J, joint, p.J, p.outW, p.classes, logits, p.classes, epiAdd)
+	}
+	for b := 0; b < n; b++ {
+		out[b] = sargmax(logits[b*p.classes : (b+1)*p.classes])
+	}
+}
+
+// edgeT maps an edge-row index e in [0, 2·half) to its time step: the
+// first half rows at the window head, the rest at the tail.
+func edgeT(e, T, half int) int {
+	if e < half {
+		return e
+	}
+	return T - 2*half + e
+}
+
+// convForward computes y = conv(x) with folded bias, [n][T][in] ->
+// [n][T][out]. Interior rows read their receptive field directly from x
+// (it is contiguous); edge rows go through the zero-padded staging
+// arena. Sample ranges shard across kernel workers like every other
+// kernel; the k-schedule per output element is unchanged by sharding.
+func (p *modelProg) convForward(cp *convProg, n int, x, y []float32) {
+	T := p.T
+	in, out, K, half := cp.in, cp.out, cp.k, cp.half
+	ki := K * in
+	er := 2 * half
+
+	if p.quant {
+		p.convForwardQ(cp, n, x, y)
+		return
+	}
+
+	// Stage the zero-padded edge rows for the whole batch.
+	edge := ensureF32(&p.edge, n*er*ki)
+	for b := 0; b < n; b++ {
+		src := x[b*T*in : (b+1)*T*in]
+		for e := 0; e < er; e++ {
+			dst := edge[(b*er+e)*ki : (b*er+e+1)*ki]
+			clear(dst)
+			stageEdgeF32(dst, src, edgeT(e, T, half), T, K, half, in)
+		}
+	}
+
+	sbiasRows(n*T, out, y, out, cp.b)
+
+	if half < T-half {
+		if w := shardWorkers(n, n*T*out*ki); w > 1 {
+			forkRows(n, w, func(lo, hi int) { //memdos:ignore hotalloc closure exists only on the tile-parallel path; the serial path calls the range body directly
+				p.convInterior(cp, lo, hi, x, y)
+			})
+		} else {
+			p.convInterior(cp, 0, n, x, y)
+		}
+	}
+	// Edge rows are contiguous per side in both the staging arena and the
+	// output, so each side is one GEMM panel per sample.
+	for b := 0; b < n; b++ {
+		sgemmBlock(half, out, ki, edge[b*er*ki:], ki, cp.w, out, y[b*T*out:], out, epiAddRelu)
+		sgemmBlock(half, out, ki, edge[(b*er+half)*ki:], ki, cp.w, out, y[(b*T+T-half)*out:], out, epiAddRelu)
+	}
+}
+
+// convInterior runs the interior output rows of samples [blo, bhi) as
+// one GEMM panel per sample: consecutive rows' receptive fields overlap
+// in x at stride `in`, which the panel expresses as lda=in.
+func (p *modelProg) convInterior(cp *convProg, blo, bhi int, x, y []float32) {
+	T := p.T
+	in, out, half := cp.in, cp.out, cp.half
+	ki := cp.k * in
+	inner := T - 2*half
+	for b := blo; b < bhi; b++ {
+		sgemmBlock(inner, out, ki, x[b*T*in:], in, cp.w, out, y[(b*T+half)*out:], out, epiAddRelu)
+	}
+}
+
+// stageEdgeF32 copies the valid taps of output row t into a zeroed
+// [K*in] staging row.
+func stageEdgeF32(dst, src []float32, t, T, K, half, in int) {
+	lo := t - half
+	d0 := 0
+	if lo < 0 {
+		d0 = -lo
+	}
+	d1 := K
+	if over := t + half - (T - 1); over > 0 {
+		d1 = K - over
+	}
+	copy(dst[d0*in:d1*in], src[(lo+d0)*in:(lo+d1)*in])
+}
+
+func stageEdgeI8(dst, src []int8, t, T, K, half, in int) {
+	lo := t - half
+	d0 := 0
+	if lo < 0 {
+		d0 = -lo
+	}
+	d1 := K
+	if over := t + half - (T - 1); over > 0 {
+		d1 = K - over
+	}
+	copy(dst[d0*in:d1*in], src[(lo+d0)*in:(lo+d1)*in])
+}
+
+// convForwardQ is convForward with int8 GEMMs: per-tensor dynamic
+// activation scale, per-output-channel weight scales, int32
+// accumulation, float32 epilogue y = b + acc·ws·sx.
+func (p *modelProg) convForwardQ(cp *convProg, n int, x, y []float32) {
+	T := p.T
+	in, out, K, half := cp.in, cp.out, cp.k, cp.half
+	ki := K * in
+	er := 2 * half
+	nx := n * T * in
+
+	mx := maxAbs32(x[:nx])
+	if mx == 0 { //memdos:ignore floateq exact zero means an all-zero activation block; scale 1 avoids division by zero
+		mx = 1
+	}
+	sx := mx / 127
+	q := ensureI8(&p.qIn, nx)
+	quantizeTo(q, x[:nx], 1/sx)
+
+	qEdge := ensureI8(&p.qEdge, n*er*ki)
+	for b := 0; b < n; b++ {
+		src := q[b*T*in : (b+1)*T*in]
+		for e := 0; e < er; e++ {
+			dst := qEdge[(b*er+e)*ki : (b*er+e+1)*ki]
+			clear(dst)
+			stageEdgeI8(dst, src, edgeT(e, T, half), T, K, half, in)
+		}
+	}
+
+	acc := ensureI32(&p.ci32, n*T*out)
+	clear(acc)
+	if half < T-half {
+		if w := shardWorkers(n, n*T*out*ki); w > 1 {
+			forkRows(n, w, func(lo, hi int) { //memdos:ignore hotalloc closure exists only on the tile-parallel path; the serial path calls the range body directly
+				p.convInteriorQ(cp, lo, hi, q, acc)
+			})
+		} else {
+			p.convInteriorQ(cp, 0, n, q, acc)
+		}
+	}
+	for b := 0; b < n; b++ {
+		i8NTBlock(half, out, ki, qEdge[b*er*ki:], ki, cp.wq, ki, acc[b*T*out:], out)
+		i8NTBlock(half, out, ki, qEdge[(b*er+half)*ki:], ki, cp.wq, ki, acc[(b*T+T-half)*out:], out)
+	}
+
+	for r := 0; r < n*T; r++ {
+		yr := y[r*out : (r+1)*out]
+		ar := acc[r*out : (r+1)*out]
+		for o := range yr {
+			v := cp.b[o] + float32(ar[o])*cp.ws[o]*sx
+			if v < 0 {
+				v = 0
+			}
+			yr[o] = v
+		}
+	}
+}
+
+func (p *modelProg) convInteriorQ(cp *convProg, blo, bhi int, q []int8, acc []int32) {
+	T := p.T
+	in, out, half := cp.in, cp.out, cp.half
+	ki := cp.k * in
+	inner := T - 2*half
+	for b := blo; b < bhi; b++ {
+		i8NTBlock(inner, out, ki, q[b*T*in:], in, cp.wq, ki, acc[(b*T+half)*out:], out)
+	}
+}
+
+// denseForwardQ is the int8 output layer: quantize the joint rows,
+// integer GEMM, dequantizing epilogue with the float bias.
+func (p *modelProg) denseForwardQ(n int, joint, logits []float32) {
+	nj := n * p.J
+	mx := maxAbs32(joint[:nj])
+	if mx == 0 { //memdos:ignore floateq exact zero means an all-zero activation block; scale 1 avoids division by zero
+		mx = 1
+	}
+	sx := mx / 127
+	q := ensureI8(&p.qIn, nj)
+	quantizeTo(q, joint[:nj], 1/sx)
+	acc := ensureI32(&p.ci32, n*p.classes)
+	clear(acc)
+	for b := 0; b < n; b++ {
+		i8NTRow(q[b*p.J:(b+1)*p.J], p.outWQ, p.J, acc[b*p.classes:(b+1)*p.classes], p.classes, p.J)
+	}
+	for b := 0; b < n; b++ {
+		lr := logits[b*p.classes : (b+1)*p.classes]
+		ar := acc[b*p.classes : (b+1)*p.classes]
+		for o := range lr {
+			lr[o] = p.outB[o] + float32(ar[o])*p.outWS[o]*sx
+		}
+	}
+}
+
+// ---- grow-once float32/int arenas ----
+
+func ensureF32(ws *[]float32, n int) []float32 {
+	s := *ws
+	if cap(s) < n {
+		s = make([]float32, n) //memdos:ignore hotalloc grow-once workspace: capacity sticks to the high-water mark, zero allocs at steady shape
+		*ws = s
+	}
+	return s[:n]
+}
+
+func ensureF64(ws *[]float64, n int) []float64 {
+	s := *ws
+	if cap(s) < n {
+		s = make([]float64, n) //memdos:ignore hotalloc grow-once workspace: capacity sticks to the high-water mark, zero allocs at steady shape
+		*ws = s
+	}
+	return s[:n]
+}
+
+func ensureI8(ws *[]int8, n int) []int8 {
+	s := *ws
+	if cap(s) < n {
+		s = make([]int8, n) //memdos:ignore hotalloc grow-once workspace: capacity sticks to the high-water mark, zero allocs at steady shape
+		*ws = s
+	}
+	return s[:n]
+}
+
+func ensureI32(ws *[]int32, n int) []int32 {
+	s := *ws
+	if cap(s) < n {
+		s = make([]int32, n) //memdos:ignore hotalloc grow-once workspace: capacity sticks to the high-water mark, zero allocs at steady shape
+		*ws = s
+	}
+	return s[:n]
+}

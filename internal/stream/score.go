@@ -1,0 +1,354 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memdos/internal/pcm"
+)
+
+// The scoring service: batched cascade inference over live session
+// windows.
+//
+// Shard goroutines assemble each session's counter samples into sliding
+// [window][2] matrices (access count, miss count — the cascade's input
+// channels). Completed windows enter a bounded scoring queue;
+// overflowing windows are dropped and counted, never blocking a shard.
+// Two goroutines drain the queue through a pair of reusable batch
+// buffers: the assembler stages windows into one buffer while the
+// scorer runs the fused batch kernel over the other, so staging and
+// GEMM time overlap. Verdicts are written back onto the sessions and
+// surface in SessionInfo (and the /v1/sessions API) next to the
+// detector state.
+
+// WindowScorer is the batched inference engine the hub drives: one call
+// classifies n windows, given row-major [n][window][2] counter values.
+// internal/dnn's BatchScorer satisfies this shape via a thin adapter
+// (the hub cannot import dnn — the daemon wires the two together).
+type WindowScorer interface {
+	// Window is the window length the scorer was compiled for.
+	Window() int
+	// ScoreFlat fills apps[i] and attacks[i] with the cascade verdict of
+	// window i. len(flat) == n*Window()*2; apps and attacks have length n.
+	ScoreFlat(n int, flat []float64, apps, attacks []int)
+}
+
+// AttackNamer optionally maps attack-class indices to stable names for
+// API responses. Implemented by the daemon's scorer adapter.
+type AttackNamer interface {
+	AttackName(class int) string
+}
+
+// CascadeVerdict is the most recent batched-inference result for one
+// session.
+type CascadeVerdict struct {
+	// App is the application-identification stage's class index.
+	App int `json:"app"`
+	// AttackClass is the attack-classification stage's class index.
+	AttackClass int `json:"attackClass"`
+	// Attack is AttackClass's name when the scorer can name it.
+	Attack string `json:"attack,omitempty"`
+	// Time is the timestamp of the scored window's last sample.
+	Time float64 `json:"t"`
+	// Windows counts how many of this session's windows have been scored.
+	Windows uint64 `json:"windows"`
+}
+
+// ScorerConfig sizes the scoring service.
+type ScorerConfig struct {
+	// Stride is how many samples advance between consecutive windows of
+	// one session. <= 0 means the window length (non-overlapping).
+	Stride int
+	// Batch is the largest number of windows fused into one scorer call.
+	// <= 0 means 64.
+	Batch int
+	// QueueCap bounds windows waiting to be batched. <= 0 means 1024.
+	QueueCap int
+}
+
+func (c ScorerConfig) withDefaults(window int) (ScorerConfig, error) {
+	if c.Stride <= 0 {
+		c.Stride = window
+	}
+	if c.Stride > window {
+		return c, fmt.Errorf("stream: scorer stride %d exceeds window %d", c.Stride, window)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	return c, nil
+}
+
+// scoreItem is one queue entry: a completed window, or a flush barrier.
+type scoreItem struct {
+	sess  *Session
+	buf   *[]float64 // pooled [window*2] copy
+	t     float64    // last sample's timestamp
+	flush chan<- struct{}
+}
+
+// scoreBatch is one of the two ping-pong staging buffers.
+type scoreBatch struct {
+	sess    []*Session
+	times   []float64
+	flat    []float64
+	apps    []int
+	attacks []int
+	flush   []chan<- struct{}
+}
+
+func (b *scoreBatch) reset() {
+	b.sess = b.sess[:0]
+	b.times = b.times[:0]
+	b.flat = b.flat[:0]
+	b.flush = b.flush[:0]
+}
+
+// hubScorer runs the scoring service for one hub.
+type hubScorer struct {
+	ws     WindowScorer
+	window int
+	stride int
+	batch  int
+
+	queue   chan scoreItem
+	free    chan *scoreBatch // double buffer: assembler <- scorer
+	ready   chan *scoreBatch // double buffer: assembler -> scorer
+	done    chan struct{}    // scorer goroutine exited
+	bufPool sync.Pool        // *[]float64 window copies
+
+	queueLen       atomic.Int64
+	windowsScored  atomic.Uint64
+	windowsDropped atomic.Uint64
+	batchesScored  atomic.Uint64
+	scoreNanos     atomic.Int64
+}
+
+// AttachScorer starts the batched scoring service on the hub. At most
+// one scorer can be attached, before or after sessions open; windows
+// only accumulate from samples ingested after the attach.
+func (h *Hub) AttachScorer(ws WindowScorer, cfg ScorerConfig) error {
+	if ws == nil {
+		return fmt.Errorf("stream: nil scorer")
+	}
+	w := ws.Window()
+	if w <= 0 {
+		return fmt.Errorf("stream: scorer window must be positive, got %d", w)
+	}
+	cfg, err := cfg.withDefaults(w)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	sc := &hubScorer{
+		ws:     ws,
+		window: w,
+		stride: cfg.Stride,
+		batch:  cfg.Batch,
+		queue:  make(chan scoreItem, cfg.QueueCap),
+		free:   make(chan *scoreBatch, 2),
+		ready:  make(chan *scoreBatch, 2),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < 2; i++ {
+		sc.free <- &scoreBatch{
+			sess:    make([]*Session, 0, cfg.Batch),
+			times:   make([]float64, 0, cfg.Batch),
+			flat:    make([]float64, 0, cfg.Batch*w*2),
+			apps:    make([]int, cfg.Batch),
+			attacks: make([]int, cfg.Batch),
+		}
+	}
+	if !h.scorer.CompareAndSwap(nil, sc) {
+		return fmt.Errorf("stream: scorer already attached")
+	}
+	go sc.runAssembler()
+	go sc.runScorer()
+	return nil
+}
+
+// ScorerStats is a programmatic snapshot of the scoring service.
+type ScorerStats struct {
+	Attached       bool
+	Window         int
+	Stride         int
+	Batch          int
+	QueueDepth     int64
+	WindowsScored  uint64
+	WindowsDropped uint64
+	BatchesScored  uint64
+	ScoreSeconds   float64
+}
+
+// ScorerStats snapshots the scoring-service counters.
+func (h *Hub) ScorerStats() ScorerStats {
+	sc := h.scorer.Load()
+	if sc == nil {
+		return ScorerStats{}
+	}
+	return ScorerStats{
+		Attached:       true,
+		Window:         sc.window,
+		Stride:         sc.stride,
+		Batch:          sc.batch,
+		QueueDepth:     sc.queueLen.Load(),
+		WindowsScored:  sc.windowsScored.Load(),
+		WindowsDropped: sc.windowsDropped.Load(),
+		BatchesScored:  sc.batchesScored.Load(),
+		ScoreSeconds:   float64(sc.scoreNanos.Load()) / 1e9,
+	}
+}
+
+func (sc *hubScorer) getBuf() *[]float64 {
+	b, _ := sc.bufPool.Get().(*[]float64)
+	if b == nil {
+		s := make([]float64, sc.window*2) // pool miss only; the steady window rate recycles buffers through bufPool
+		b = &s
+	}
+	return b
+}
+
+// pushSampleLocked advances one session's sliding window by one sample
+// and emits a completed window into the scoring queue. Runs on the shard
+// goroutine under s.mu, so the per-session assembly state has a single
+// writer. A full queue sheds the window (counted), never stalling the
+// shard.
+func (s *Session) pushSampleLocked(sc *hubScorer, smp pcm.Sample) {
+	w2 := sc.window * 2
+	if cap(s.scoreWin) < w2 {
+		// Grow-once per session: the first sample after scorer attach sizes
+		// the window buffer for the session's lifetime.
+		s.scoreWin = make([]float64, 0, w2)
+	}
+	s.scoreWin = append(s.scoreWin, smp.AccessNum, smp.MissNum)
+	if len(s.scoreWin) < w2 {
+		return
+	}
+	buf := sc.getBuf()
+	copy(*buf, s.scoreWin)
+	select {
+	case sc.queue <- scoreItem{sess: s, buf: buf, t: smp.Time}:
+		sc.queueLen.Add(1)
+	default:
+		sc.windowsDropped.Add(1)
+		sc.bufPool.Put(buf)
+	}
+	// Slide: keep the window's tail for the next overlapping emission.
+	keep := w2 - sc.stride*2
+	copy(s.scoreWin, s.scoreWin[sc.stride*2:])
+	s.scoreWin = s.scoreWin[:keep]
+}
+
+// runAssembler drains the scoring queue into the free staging buffer:
+// block for the first window of a round, then take whatever else is
+// already queued (up to the batch cap) without waiting, so batches grow
+// under load and stay prompt when idle.
+func (sc *hubScorer) runAssembler() {
+	b := <-sc.free
+	ship := func() {
+		sc.ready <- b
+		b = <-sc.free
+	}
+	for it := range sc.queue {
+		flushing := sc.absorb(b, it)
+		for !flushing && len(b.sess) < sc.batch {
+			select {
+			case it2, ok := <-sc.queue:
+				if !ok {
+					goto drained
+				}
+				flushing = sc.absorb(b, it2)
+			default:
+				goto roundDone
+			}
+		}
+	roundDone:
+		if len(b.sess) > 0 || len(b.flush) > 0 {
+			ship()
+		}
+	}
+drained:
+	if len(b.sess) > 0 || len(b.flush) > 0 {
+		sc.ready <- b
+	}
+	close(sc.ready)
+}
+
+// absorb folds one queue item into the staging buffer and reports
+// whether it was a flush barrier (which must ship immediately).
+func (sc *hubScorer) absorb(b *scoreBatch, it scoreItem) bool {
+	sc.queueLen.Add(-1)
+	if it.flush != nil {
+		b.flush = append(b.flush, it.flush)
+		return true
+	}
+	b.sess = append(b.sess, it.sess)
+	b.times = append(b.times, it.t)
+	b.flat = append(b.flat, *it.buf...)
+	sc.bufPool.Put(it.buf)
+	return false
+}
+
+// runScorer scores staged batches and writes verdicts back onto the
+// sessions.
+func (sc *hubScorer) runScorer() {
+	defer close(sc.done)
+	namer, _ := sc.ws.(AttackNamer)
+	for b := range sc.ready {
+		if n := len(b.sess); n > 0 {
+			start := time.Now()
+			sc.ws.ScoreFlat(n, b.flat, b.apps[:n], b.attacks[:n])
+			sc.scoreNanos.Add(time.Since(start).Nanoseconds())
+			sc.batchesScored.Add(1)
+			sc.windowsScored.Add(uint64(n))
+			for i, s := range b.sess {
+				v := CascadeVerdict{
+					App:         b.apps[i],
+					AttackClass: b.attacks[i],
+					Time:        b.times[i],
+				}
+				if namer != nil {
+					v.Attack = namer.AttackName(v.AttackClass)
+				}
+				s.mu.Lock()
+				v.Windows = s.cascadeWindows + 1
+				s.cascadeWindows = v.Windows
+				s.cascade = v
+				s.mu.Unlock()
+			}
+		}
+		for _, ch := range b.flush {
+			ch <- struct{}{}
+		}
+		b.reset()
+		sc.free <- b
+	}
+}
+
+// flushScorer is Drain's scoring barrier: every window enqueued before
+// the call is scored before it returns. Callers must hold the hub's
+// ingestWG (as Drain does) so Close cannot tear the queue down
+// concurrently.
+func (sc *hubScorer) flushScorer() {
+	ack := make(chan struct{})
+	sc.queue <- scoreItem{flush: ack}
+	sc.queueLen.Add(1)
+	<-ack
+}
+
+// closeScorer stops the service after the shard goroutines have exited
+// (no further enqueues): queued windows are still scored, then both
+// goroutines wind down.
+func (sc *hubScorer) closeScorer() {
+	close(sc.queue)
+	<-sc.done
+}

@@ -48,6 +48,9 @@ type SessionInfo struct {
 	AlarmActive  bool           `json:"alarmActive"`
 	AlarmsRaised uint64         `json:"alarmsRaised"`
 	LastDecision *core.Decision `json:"lastDecision,omitempty"`
+	// Cascade is the most recent batched-inference verdict (nil until the
+	// hub's scoring service has scored a window of this session).
+	Cascade *CascadeVerdict `json:"cascade,omitempty"`
 	// Incidents are the session's alarm episodes, flap-merged with the
 	// hub's MergeGap.
 	Incidents []core.Incident `json:"incidents,omitempty"`
@@ -90,6 +93,13 @@ type Session struct {
 	hasDecision  bool
 	recorded     []core.Decision
 	sealed       bool
+
+	// scoreWin assembles the session's sliding cascade window (written on
+	// the shard goroutine); cascade/cascadeWindows hold the latest verdict
+	// (written by the scorer goroutine). All guarded by mu.
+	scoreWin       []float64
+	cascade        CascadeVerdict
+	cascadeWindows uint64
 }
 
 func newSession(h *Hub, id, profile string, det core.Detector, sh *shard) *Session {
@@ -174,9 +184,13 @@ func (s *Session) remove() {
 func (s *Session) process(batch []pcm.Sample) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc := s.hub.scorer.Load()
 	for _, smp := range batch {
 		for _, d := range s.det.Push(smp) {
 			s.foldLocked(d)
+		}
+		if sc != nil {
+			s.pushSampleLocked(sc, smp)
 		}
 	}
 }
@@ -237,6 +251,10 @@ func (s *Session) info() SessionInfo {
 	if s.hasDecision {
 		d := s.lastDecision
 		in.LastDecision = &d
+	}
+	if s.cascadeWindows > 0 {
+		v := s.cascade
+		in.Cascade = &v
 	}
 	return in
 }

@@ -152,6 +152,10 @@ type Hub struct {
 	// goroutines (sync.Pool: safe without mu).
 	batchPool sync.Pool
 
+	// scorer is the batched cascade scoring service, nil until
+	// AttachScorer. Atomic so the shard hot path reads it without mu.
+	scorer atomic.Pointer[hubScorer]
+
 	samplesIngested   metrics.Counter
 	samplesDropped    metrics.Counter
 	decisionsTotal    metrics.Counter
@@ -302,6 +306,13 @@ func (h *Hub) Drain() error {
 	for range h.shards {
 		<-acks
 	}
+	// With the shards quiesced, flush the scoring pipeline too: every
+	// window emitted by the processed samples is scored before Drain
+	// returns. ingestWG (held above) keeps Close from closing the queue
+	// under this send.
+	if sc := h.scorer.Load(); sc != nil {
+		sc.flushScorer()
+	}
 	return nil
 }
 
@@ -332,6 +343,12 @@ func (h *Hub) Close() error {
 	}
 	for _, sh := range h.shards {
 		<-sh.done
+	}
+	// Shards have exited, so no goroutine can enqueue more windows: drain
+	// the scoring pipeline before sealing the sessions, so final verdicts
+	// land in the logs.
+	if sc := h.scorer.Load(); sc != nil {
+		sc.closeScorer()
 	}
 	for _, s := range sessions {
 		s.seal()
@@ -548,6 +565,33 @@ func (h *Hub) RegisterMetrics(reg *metrics.Registry) {
 			}
 			return pts
 		})
+	// Scoring-service metrics. Registered unconditionally (the registry
+	// snapshot must not depend on wiring order); they read zero until a
+	// scorer is attached.
+	scorerPoint := func(get func(*hubScorer) float64) func() []metrics.Point {
+		return func() []metrics.Point {
+			sc := h.scorer.Load()
+			if sc == nil {
+				return nil
+			}
+			return []metrics.Point{{Value: get(sc)}}
+		}
+	}
+	reg.RegisterCounterFunc("memdos_dnn_windows_scored_total",
+		"Session windows classified by the batched cascade scorer.",
+		scorerPoint(func(sc *hubScorer) float64 { return float64(sc.windowsScored.Load()) }))
+	reg.RegisterCounterFunc("memdos_dnn_windows_dropped_total",
+		"Session windows shed on a full scoring queue.",
+		scorerPoint(func(sc *hubScorer) float64 { return float64(sc.windowsDropped.Load()) }))
+	reg.RegisterCounterFunc("memdos_dnn_batches_total",
+		"Fused scorer calls (windows_scored_total/batches_total is the mean batch fill).",
+		scorerPoint(func(sc *hubScorer) float64 { return float64(sc.batchesScored.Load()) }))
+	reg.RegisterCounterFunc("memdos_dnn_score_seconds_total",
+		"Time spent inside the fused batch kernel.",
+		scorerPoint(func(sc *hubScorer) float64 { return float64(sc.scoreNanos.Load()) / 1e9 }))
+	reg.RegisterGaugeFunc("memdos_dnn_queue_depth",
+		"Windows waiting to be batched for scoring.",
+		scorerPoint(func(sc *hubScorer) float64 { return float64(sc.queueLen.Load()) }))
 }
 
 // validSessionID bounds session names for use as map keys, URL path
